@@ -1,0 +1,91 @@
+// Multiple decoupled sidechains on one mainchain (paper Fig. 1, §4.1.2:
+// "withdrawal epochs for different sidechains are not aligned ... the
+// entire system runs asynchronously").
+//
+// Three Latus sidechains with different epoch geometries run side by side:
+// a fast-certifying chain, a slow one, and one carrying payment traffic.
+// The mainchain verifies every certificate through the same unified SNARK
+// verifier interface without knowing anything about the sidechains'
+// internals.
+//
+// Build & run:  ./build/examples/multi_sidechain
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "sim/workload.hpp"
+
+using namespace zendoo;
+
+int main() {
+  using crypto::Domain;
+  using crypto::hash_str;
+  using crypto::KeyPair;
+
+  auto miner = KeyPair::from_seed(hash_str(Domain::kGeneric, "miner"));
+  core::Engine engine(mainchain::ChainParams{}, miner);
+  crypto::Rng rng(7);
+
+  struct Spec {
+    const char* name;
+    std::uint64_t start, epoch_len, submit_len;
+  };
+  const Spec specs[] = {
+      {"fast", 2, 3, 1},
+      {"slow", 3, 7, 3},
+      {"busy", 2, 5, 2},
+  };
+
+  std::vector<mainchain::SidechainId> ids;
+  std::vector<std::vector<KeyPair>> users;
+  for (std::size_t i = 0; i < 3; ++i) {
+    ids.push_back(hash_str(Domain::kGeneric, specs[i].name));
+    users.push_back(sim::make_keys(4, 100 + i));
+    engine.add_latus_sidechain(ids[i], specs[i].start, specs[i].epoch_len,
+                               specs[i].submit_len, users[i]);
+  }
+  engine.step();
+
+  // Fund each sidechain in its own block.
+  for (std::size_t i = 0; i < 3; ++i) {
+    sim::fund_users(engine, ids[i], users[i], 50'000);
+    engine.step();
+  }
+
+  // Drive 25 MC blocks of mixed traffic: random SC payments on "busy".
+  for (int round = 0; round < 25; ++round) {
+    sim::random_payment_round(engine.sidechain(ids[2]), users[2], rng);
+    engine.step();
+  }
+
+  std::printf("%-6s %7s %9s %8s %10s %9s %7s\n", "chain", "epochs",
+              "last-fin", "balance", "SC-height", "SC-supply", "ceased");
+  bool ok = true;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto* sc = engine.mc().state().find_sidechain(ids[i]);
+    const latus::LatusNode& node = engine.sidechain(ids[i]);
+    std::uint64_t finalized =
+        sc->last_finalized_epoch ? *sc->last_finalized_epoch + 1 : 0;
+    std::printf("%-6s %7llu %9llu %8llu %10llu %9llu %7s\n", specs[i].name,
+                (unsigned long long)(engine.mc().height() >= specs[i].start
+                                         ? sc->params.epoch_of(
+                                               engine.mc().height())
+                                         : 0),
+                (unsigned long long)finalized,
+                (unsigned long long)sc->balance,
+                (unsigned long long)node.height(),
+                (unsigned long long)node.state().total_supply(),
+                sc->ceased ? "yes" : "no");
+    ok = ok && !sc->ceased && finalized > 0;
+    // Supply invariant: MC safeguard balance covers SC supply plus any
+    // in-flight backward transfers.
+    ok = ok && sc->balance >= node.state().total_supply();
+  }
+
+  // Different geometries really produced different certificate cadences.
+  const auto* fast = engine.mc().state().find_sidechain(ids[0]);
+  const auto* slow = engine.mc().state().find_sidechain(ids[1]);
+  ok = ok && *fast->last_finalized_epoch > *slow->last_finalized_epoch;
+
+  std::printf("\nmulti_sidechain %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}

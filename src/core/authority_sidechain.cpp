@@ -1,0 +1,211 @@
+#include "core/authority_sidechain.hpp"
+
+namespace zendoo::core {
+
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::Hasher;
+using crypto::Signature;
+
+Digest statement_digest(const snark::Statement& st) {
+  Hasher h(Domain::kSnarkStatement);
+  h.write_u64(st.size());
+  for (const Digest& d : st) h.write(d);
+  return h.finalize();
+}
+
+/// Message the authority signs for an exit receipt: binds nullifier,
+/// receiver and the amount commitment — all of which appear in the CSW
+/// statement so the circuit can rebuild it.
+Digest exit_message(const Digest& nullifier, const Digest& receiver,
+                    const Digest& amount_digest) {
+  return Hasher(Domain::kSignature)
+      .write_str("authority-exit")
+      .write(nullifier)
+      .write(receiver)
+      .write(amount_digest)
+      .finalize();
+}
+
+}  // namespace
+
+AuthoritySidechain::AuthoritySidechain(const mainchain::SidechainId& id,
+                                       std::uint64_t start_block,
+                                       std::uint64_t epoch_len,
+                                       std::uint64_t submit_len,
+                                       const crypto::KeyPair& authority)
+    : authority_(authority) {
+  auto pubkey = authority.public_key();
+
+  // WCert circuit: the proof is "this statement is signed by the
+  // authority" — the paper's minimal centralized construction.
+  auto wcert_circuit = [pubkey](const snark::Statement& st,
+                                const snark::Witness& w) {
+    const auto* sig = std::any_cast<Signature>(&w);
+    if (sig == nullptr) return false;
+    return crypto::verify_signature(pubkey, statement_digest(st), *sig);
+  };
+  auto [wpk, wvk] = snark::PredicateSnark::setup(
+      wcert_circuit, "authority-wcert/" + id.to_hex());
+  wcert_pk_ = wpk;
+
+  // CSW circuit: an authority-signed exit receipt over the statement's
+  // (nullifier, receiver, amount) triple.
+  auto csw_circuit = [pubkey](const snark::Statement& st,
+                              const snark::Witness& w) {
+    const auto* sig = std::any_cast<Signature>(&w);
+    if (sig == nullptr || st.size() != 6) return false;
+    return crypto::verify_signature(pubkey, exit_message(st[1], st[2], st[3]),
+                                    *sig);
+  };
+  auto [cpk, cvk] = snark::PredicateSnark::setup(
+      csw_circuit, "authority-csw/" + id.to_hex());
+  csw_pk_ = cpk;
+
+  mc_params_.ledger_id = id;
+  mc_params_.start_block = start_block;
+  mc_params_.epoch_len = epoch_len;
+  mc_params_.submit_len = submit_len;
+  mc_params_.wcert_vk = wvk;
+  mc_params_.btr_vk = snark::VerifyingKey::null();  // §4.1.2.1 opt-out
+  mc_params_.csw_vk = cvk;
+  mc_params_.wcert_proofdata_len = 0;
+  mc_params_.btr_proofdata_len = 0;
+  mc_params_.csw_proofdata_len = 0;
+}
+
+AuthoritySidechain::Amount AuthoritySidechain::balance_of(
+    const Address& account) const {
+  auto it = accounts_.find(account);
+  return it == accounts_.end() ? 0 : it->second;
+}
+
+AuthoritySidechain::Amount AuthoritySidechain::total_supply() const {
+  Amount sum = 0;
+  for (const auto& [_, v] : accounts_) sum += v;
+  return sum;
+}
+
+std::string AuthoritySidechain::observe_mc_block(
+    const mainchain::Block& block) {
+  std::uint64_t h = block.header.height;
+  if (last_mc_height_ && h != *last_mc_height_ + 1) {
+    return "MC blocks must be observed in height order";
+  }
+  last_mc_height_ = h;
+
+  // Credit forward transfers; metadata convention: [receiverAccount].
+  // Anything else is malformed -> refunded via a backward transfer to the
+  // last metadata entry, like Latus.
+  for (const mainchain::Transaction& tx : block.transactions) {
+    for (const mainchain::ForwardTransferOutput& ft : tx.forward_transfers) {
+      if (ft.ledger_id != mc_params_.ledger_id) continue;
+      if (ft.receiver_metadata.size() == 1) {
+        accounts_[ft.receiver_metadata[0]] += ft.amount;
+      } else if (!ft.receiver_metadata.empty()) {
+        pending_bts_.push_back(
+            {ft.receiver_metadata.back(), ft.amount});
+      }
+    }
+  }
+
+  // Withdrawal-epoch boundary.
+  if (h >= mc_params_.start_block && h == mc_params_.epoch_end(current_epoch_)) {
+    completed_.push_back({current_epoch_, std::move(pending_bts_)});
+    pending_bts_.clear();
+    ++current_epoch_;
+  }
+  return "";
+}
+
+std::string AuthoritySidechain::transfer(const Address& from,
+                                         const Address& to, Amount amount) {
+  auto it = accounts_.find(from);
+  if (it == accounts_.end() || it->second < amount) {
+    return "insufficient balance";
+  }
+  it->second -= amount;
+  accounts_[to] += amount;
+  return "";
+}
+
+std::string AuthoritySidechain::request_withdrawal(const Address& account,
+                                                   const Address& mc_receiver,
+                                                   Amount amount) {
+  auto it = accounts_.find(account);
+  if (it == accounts_.end() || it->second < amount) {
+    return "insufficient balance";
+  }
+  it->second -= amount;
+  pending_bts_.push_back({mc_receiver, amount});
+  return "";
+}
+
+std::optional<mainchain::WithdrawalCertificate>
+AuthoritySidechain::build_certificate(const mainchain::ChainState& mc_state) {
+  if (completed_.empty()) return std::nullopt;
+  CompletedEpoch done = std::move(completed_.front());
+  completed_.erase(completed_.begin());
+
+  mainchain::WithdrawalCertificate cert;
+  cert.ledger_id = mc_params_.ledger_id;
+  cert.epoch_id = done.epoch;
+  cert.quality = ++cert_counter_;  // sidechain-defined; monotone counter
+  cert.bt_list = std::move(done.bt_list);
+  auto [prev, last] =
+      mc_state.epoch_boundary_hashes(mc_params_, cert.epoch_id);
+  auto st = mainchain::wcert_statement_for(cert, prev, last);
+  Signature sig = authority_.sign(statement_digest(st));
+  auto proof = snark::PredicateSnark::prove(wcert_pk_, st, sig);
+  if (!proof) return std::nullopt;
+  cert.proof = *proof;
+  return cert;
+}
+
+std::optional<AuthoritySidechain::ExitReceipt>
+AuthoritySidechain::issue_exit_receipt(const Address& account,
+                                       const Address& mc_receiver,
+                                       Amount amount) {
+  auto it = accounts_.find(account);
+  if (it == accounts_.end() || it->second < amount) return std::nullopt;
+  it->second -= amount;
+
+  ExitReceipt receipt;
+  receipt.account = account;
+  receipt.mc_receiver = mc_receiver;
+  receipt.amount = amount;
+  receipt.nullifier = Hasher(Domain::kNullifier)
+                          .write_str("authority-receipt")
+                          .write(mc_params_.ledger_id)
+                          .write_u64(next_receipt_serial_++)
+                          .finalize();
+  Digest amount_digest = snark::statement_u64(amount);
+  receipt.authority_sig = authority_.sign(
+      exit_message(receipt.nullifier, mc_receiver, amount_digest));
+  return receipt;
+}
+
+mainchain::CeasedSidechainWithdrawal AuthoritySidechain::redeem_receipt(
+    const ExitReceipt& receipt, const mainchain::ChainState& mc_state) const {
+  mainchain::CeasedSidechainWithdrawal csw;
+  csw.ledger_id = mc_params_.ledger_id;
+  csw.receiver = receipt.mc_receiver;
+  csw.amount = receipt.amount;
+  csw.nullifier = receipt.nullifier;
+  const auto* sc = mc_state.find_sidechain(mc_params_.ledger_id);
+  Digest last_cert_block = sc != nullptr ? sc->last_cert_block : Digest{};
+  auto st = mainchain::csw_statement(last_cert_block, csw.nullifier,
+                                     csw.receiver, csw.amount,
+                                     merkle::merkle_root({}));
+  auto proof =
+      snark::PredicateSnark::prove(csw_pk_, st, receipt.authority_sig);
+  if (!proof) {
+    throw std::logic_error("AuthoritySidechain: receipt does not prove");
+  }
+  csw.proof = *proof;
+  return csw;
+}
+
+}  // namespace zendoo::core

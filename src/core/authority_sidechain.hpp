@@ -1,0 +1,103 @@
+// A second, deliberately different sidechain construction on the same
+// CCTP: the *centralized* design the paper sketches in §1/§4.1.2 — "the
+// sidechain may adopt a centralized solution where the zk-SNARK just
+// verifies that a certificate is signed by an authorized entity (like in
+// [5])".
+//
+// Internals are everything Latus is not: an account-based ledger (no
+// UTXOs, no MST, no blocks at all — just a database kept by an operator),
+// certificates authorized by one signature wrapped in the sidechain's
+// SNARK. The mainchain cannot tell the difference: registration,
+// forward transfers, certificate windows, quality, safeguard and ceasing
+// all work through the identical unified interface — which is precisely
+// the paper's decoupling claim.
+//
+// BTRs are disabled (null btr_vk, the §4.1.2.1 opt-out); CSWs are
+// supported via authority-signed exit receipts issued to users while the
+// sidechain is healthy.
+#pragma once
+
+#include <map>
+
+#include "mainchain/chain.hpp"
+
+namespace zendoo::core {
+
+class AuthoritySidechain {
+ public:
+  using Address = mainchain::Address;
+  using Amount = mainchain::Amount;
+  using Digest = crypto::Digest;
+
+  /// Creates the sidechain's proving systems under the given operator key
+  /// and fixes its MC registration parameters.
+  AuthoritySidechain(const mainchain::SidechainId& id,
+                     std::uint64_t start_block, std::uint64_t epoch_len,
+                     std::uint64_t submit_len,
+                     const crypto::KeyPair& authority);
+
+  [[nodiscard]] const mainchain::SidechainParams& mc_params() const {
+    return mc_params_;
+  }
+
+  /// Account balance ledger (the "database sidechain" of Def 3.2).
+  [[nodiscard]] Amount balance_of(const Address& account) const;
+  [[nodiscard]] Amount total_supply() const;
+
+  /// Observe the next MC block (in order): credits forward transfers
+  /// (metadata convention: [receiverAccount]) and tracks epoch boundaries.
+  [[nodiscard]] std::string observe_mc_block(const mainchain::Block& block);
+
+  /// Operator-side ledger operation: move value between accounts.
+  [[nodiscard]] std::string transfer(const Address& from, const Address& to,
+                                     Amount amount);
+
+  /// Queue a withdrawal: debits the account now, pays `mc_receiver` via
+  /// the next certificate.
+  [[nodiscard]] std::string request_withdrawal(const Address& account,
+                                               const Address& mc_receiver,
+                                               Amount amount);
+
+  /// Certificate for the oldest completed epoch (authority-signed), or
+  /// nullopt if none completed. Needs the MC state for the epoch-boundary
+  /// block hashes in wcert_sysdata.
+  [[nodiscard]] std::optional<mainchain::WithdrawalCertificate>
+  build_certificate(const mainchain::ChainState& mc_state);
+
+  /// Exit receipt: an authority-signed voucher for `amount` from
+  /// `account`, redeemable as a CSW if the sidechain ever ceases. Issued
+  /// while the operator is still honest/alive; debits the account.
+  struct ExitReceipt {
+    Address account;
+    Address mc_receiver;
+    Amount amount = 0;
+    Digest nullifier;
+    crypto::Signature authority_sig;
+  };
+  [[nodiscard]] std::optional<ExitReceipt> issue_exit_receipt(
+      const Address& account, const Address& mc_receiver, Amount amount);
+
+  /// Turn a receipt into a CSW accepted by the MC after the cease.
+  [[nodiscard]] mainchain::CeasedSidechainWithdrawal redeem_receipt(
+      const ExitReceipt& receipt, const mainchain::ChainState& mc_state) const;
+
+ private:
+  struct CompletedEpoch {
+    std::uint64_t epoch = 0;
+    std::vector<mainchain::BackwardTransfer> bt_list;
+  };
+
+  mainchain::SidechainParams mc_params_;
+  crypto::KeyPair authority_;
+  snark::ProvingKey wcert_pk_;
+  snark::ProvingKey csw_pk_;
+  std::map<Address, Amount> accounts_;
+  std::vector<mainchain::BackwardTransfer> pending_bts_;
+  std::vector<CompletedEpoch> completed_;
+  std::optional<std::uint64_t> last_mc_height_;
+  std::uint64_t next_receipt_serial_ = 0;
+  std::uint64_t current_epoch_ = 0;
+  std::uint64_t cert_counter_ = 0;
+};
+
+}  // namespace zendoo::core

@@ -1,0 +1,125 @@
+#include "core/engine.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::core {
+
+Engine::Engine(mainchain::ChainParams params, const crypto::KeyPair& miner_key)
+    : chain_(params),
+      miner_key_(miner_key),
+      miner_wallet_(miner_key),
+      miner_(chain_, miner_key.address()) {}
+
+latus::LatusNode& Engine::add_latus_sidechain(
+    const SidechainId& id, std::uint64_t start_block, std::uint64_t epoch_len,
+    std::uint64_t submit_len, const std::vector<crypto::KeyPair>& forgers,
+    unsigned mst_depth, std::uint64_t slots_per_epoch) {
+  if (sidechains_.contains(id)) {
+    throw std::invalid_argument("Engine: sidechain id already added");
+  }
+  ScEntry entry;
+  entry.node = std::make_unique<latus::LatusNode>(
+      id, start_block, epoch_len, submit_len, mst_depth, slots_per_epoch);
+  entry.start_block = start_block;
+  entry.epoch_len = epoch_len;
+  entry.submit_len = submit_len;
+  entry.mst_depth = mst_depth;
+  entry.slots_per_epoch = slots_per_epoch;
+  entry.forgers = forgers;
+  for (const auto& key : forgers) entry.node->add_forger(key);
+  entry.synced_height = chain_.height();
+
+  mempool_.sidechain_creations.push_back(entry.node->mc_params());
+  auto [it, _] = sidechains_.emplace(id, std::move(entry));
+  return *it->second.node;
+}
+
+latus::LatusNode& Engine::sidechain(const SidechainId& id) {
+  auto it = sidechains_.find(id);
+  if (it == sidechains_.end()) {
+    throw std::invalid_argument("Engine: unknown sidechain");
+  }
+  return *it->second.node;
+}
+
+void Engine::sync_entry(ScEntry& entry, const mainchain::Block& block) {
+  if (std::string err = entry.node->observe_mc_block(block); !err.empty()) {
+    throw std::logic_error("Engine: sidechain observe failed: " + err);
+  }
+  if (std::string err = entry.node->forge_until_synced(); !err.empty()) {
+    throw std::logic_error("Engine: sidechain forge failed: " + err);
+  }
+  entry.synced_height = block.header.height;
+}
+
+mainchain::Block Engine::step() {
+  mainchain::Block block;
+  auto result = miner_.mine_and_submit(mempool_, &block);
+  if (!result.accepted) {
+    throw std::logic_error("Engine: mining failed: " + result.error);
+  }
+  mempool_.clear();
+
+  for (auto& [id, entry] : sidechains_) {
+    sync_entry(entry, block);
+    // Queue any certificates whose epoch just completed; the next MC block
+    // lands inside the submission window.
+    while (entry.auto_certificates) {
+      auto cert = entry.node->build_certificate();
+      if (!cert) break;
+      mempool_.certificates.push_back(std::move(*cert));
+    }
+  }
+  return block;
+}
+
+void Engine::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Engine::queue_forward_transfer(const SidechainId& id,
+                                    const mainchain::Address& sc_receiver,
+                                    const mainchain::Address& mc_payback,
+                                    mainchain::Amount amount) {
+  auto tx = miner_wallet_.forward_transfer(
+      chain_.state(), id, {sc_receiver, mc_payback}, amount);
+  if (!tx) return false;
+  mempool_.transactions.push_back(std::move(*tx));
+  return true;
+}
+
+void Engine::set_auto_certificates(const SidechainId& id, bool enabled) {
+  auto it = sidechains_.find(id);
+  if (it == sidechains_.end()) {
+    throw std::invalid_argument("Engine: unknown sidechain");
+  }
+  it->second.auto_certificates = enabled;
+}
+
+void Engine::resync_sidechains_after_reorg() {
+  for (auto& [id, entry] : sidechains_) {
+    auto fresh = std::make_unique<latus::LatusNode>(
+        id, entry.start_block, entry.epoch_len, entry.submit_len,
+        entry.mst_depth, entry.slots_per_epoch);
+    for (const auto& key : entry.forgers) fresh->add_forger(key);
+    entry.node = std::move(fresh);
+    // Replay the active chain from the first post-genesis block.
+    for (std::uint64_t h = 1; h <= chain_.height(); ++h) {
+      const mainchain::Block* b = chain_.find_block(chain_.hash_at_height(h));
+      if (b == nullptr) {
+        throw std::logic_error("Engine: active chain block missing");
+      }
+      sync_entry(entry, *b);
+      while (auto cert = entry.node->build_certificate()) {
+        // Certificates for already-finalized epochs would be rejected by
+        // the MC (outside their window); only re-queue fresh ones.
+        const auto* sc = chain_.state().find_sidechain(id);
+        if (sc != nullptr && !sc->ceased) {
+          mempool_.certificates.push_back(std::move(*cert));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace zendoo::core

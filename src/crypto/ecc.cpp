@@ -1,0 +1,229 @@
+#include "crypto/ecc.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::crypto {
+
+namespace secp256k1 {
+const u256 kP = u256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const u256 kN = u256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const u256 kGx = u256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const u256 kGy = u256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+}  // namespace secp256k1
+
+namespace {
+// p = 2^256 - kC, kC = 2^32 + 977.
+const u256 kC{0x1000003D1ULL};
+}  // namespace
+
+Fp Fp::add(const Fp& o) const {
+  return Fp{u256::addmod(v, o.v, secp256k1::kP)};
+}
+
+Fp Fp::sub(const Fp& o) const {
+  return Fp{u256::submod(v, o.v, secp256k1::kP)};
+}
+
+Fp Fp::neg() const {
+  if (v.is_zero()) return *this;
+  return Fp{secp256k1::kP - v};
+}
+
+Fp Fp::mul(const Fp& o) const {
+  // x = hi*2^256 + lo ≡ hi*kC + lo (mod p). hi*kC has at most 289 bits so
+  // two folding rounds always suffice.
+  auto [hi, lo] = u256::mul_wide(v, o.v);
+  while (!hi.is_zero()) {
+    auto [h2, l2] = u256::mul_wide(hi, kC);
+    u256 sum;
+    bool carry = u256::add_with_carry(lo, l2, sum);
+    lo = sum;
+    hi = h2;
+    if (carry) hi = hi + u256{1};
+  }
+  while (!(lo < secp256k1::kP)) lo = lo - secp256k1::kP;
+  return Fp{lo};
+}
+
+Fp Fp::inv() const {
+  if (is_zero()) throw std::invalid_argument("Fp::inv of zero");
+  // v^(p-2) by square-and-multiply using the fast field multiplication.
+  u256 e = secp256k1::kP - u256{2};
+  Fp result = Fp::one();
+  Fp base = *this;
+  int top = e.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.bit(static_cast<unsigned>(i))) result = result.mul(base);
+    base = base.sqr();
+  }
+  return result;
+}
+
+ECPoint ECPoint::generator() {
+  return from_affine(secp256k1::kGx, secp256k1::kGy);
+}
+
+ECPoint ECPoint::from_affine(const u256& x, const u256& y) {
+  return {Fp::from(x), Fp::from(y), Fp::one()};
+}
+
+ECPoint ECPoint::dbl() const {
+  if (is_infinity() || Y.is_zero()) return infinity();
+  // Standard Jacobian doubling for a = 0 curves (secp256k1: y^2 = x^3 + 7).
+  Fp a = X.sqr();                       // X^2
+  Fp b = Y.sqr();                       // Y^2
+  Fp c = b.sqr();                       // Y^4
+  Fp d = X.add(b).sqr().sub(a).sub(c);  // 2*((X+B)^2 - A - C)
+  d = d.add(d);
+  Fp e = a.add(a).add(a);  // 3*X^2
+  Fp f = e.sqr();          // E^2
+  Fp x3 = f.sub(d.add(d));
+  Fp c8 = c.add(c);
+  c8 = c8.add(c8);
+  c8 = c8.add(c8);
+  Fp y3 = e.mul(d.sub(x3)).sub(c8);
+  Fp z3 = Y.mul(Z);
+  z3 = z3.add(z3);
+  return {x3, y3, z3};
+}
+
+ECPoint ECPoint::add(const ECPoint& o) const {
+  if (is_infinity()) return o;
+  if (o.is_infinity()) return *this;
+  // Jacobian addition.
+  Fp z1z1 = Z.sqr();
+  Fp z2z2 = o.Z.sqr();
+  Fp u1 = X.mul(z2z2);
+  Fp u2 = o.X.mul(z1z1);
+  Fp s1 = Y.mul(z2z2).mul(o.Z);
+  Fp s2 = o.Y.mul(z1z1).mul(Z);
+  if (u1 == u2) {
+    if (s1 == s2) return dbl();
+    return infinity();
+  }
+  Fp h = u2.sub(u1);
+  Fp i = h.add(h).sqr();
+  Fp j = h.mul(i);
+  Fp r = s2.sub(s1);
+  r = r.add(r);
+  Fp v = u1.mul(i);
+  Fp x3 = r.sqr().sub(j).sub(v.add(v));
+  Fp s1j = s1.mul(j);
+  Fp y3 = r.mul(v.sub(x3)).sub(s1j.add(s1j));
+  Fp z3 = Z.mul(o.Z).mul(h);
+  z3 = z3.add(z3);
+  return {x3, y3, z3};
+}
+
+ECPoint ECPoint::mul(const u256& scalar) const {
+  u256 k = scalar.mod(secp256k1::kN);
+  ECPoint result = infinity();
+  int top = k.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    result = result.dbl();
+    if (k.bit(static_cast<unsigned>(i))) result = result.add(*this);
+  }
+  return result;
+}
+
+std::pair<u256, u256> ECPoint::to_affine() const {
+  if (is_infinity()) {
+    throw std::invalid_argument("ECPoint::to_affine of infinity");
+  }
+  Fp zinv = Z.inv();
+  Fp zinv2 = zinv.sqr();
+  Fp x = X.mul(zinv2);
+  Fp y = Y.mul(zinv2).mul(zinv);
+  return {x.v, y.v};
+}
+
+bool ECPoint::on_curve() const {
+  if (is_infinity()) return true;
+  auto [x, y] = to_affine();
+  Fp fx = Fp{x}, fy = Fp{y};
+  Fp lhs = fy.sqr();
+  Fp rhs = fx.sqr().mul(fx).add(Fp{u256{7}});
+  return lhs == rhs;
+}
+
+bool ECPoint::equals(const ECPoint& o) const {
+  if (is_infinity() || o.is_infinity()) {
+    return is_infinity() == o.is_infinity();
+  }
+  // Cross-multiplied comparison avoids inversions:
+  // X1/Z1^2 == X2/Z2^2 and Y1/Z1^3 == Y2/Z2^3.
+  Fp z1z1 = Z.sqr();
+  Fp z2z2 = o.Z.sqr();
+  if (!(X.mul(z2z2) == o.X.mul(z1z1))) return false;
+  return Y.mul(z2z2).mul(o.Z) == o.Y.mul(z1z1).mul(Z);
+}
+
+namespace {
+
+u256 digest_to_scalar(const Digest& d) {
+  u256 v = d.as_u256().mod(secp256k1::kN);
+  if (v.is_zero()) v = u256{1};
+  return v;
+}
+
+u256 challenge(const u256& rx, const u256& ry,
+               const std::pair<u256, u256>& pk, const Digest& msg) {
+  Digest e = Hasher(Domain::kSignature)
+                 .write(rx)
+                 .write(ry)
+                 .write(pk.first)
+                 .write(pk.second)
+                 .write(msg)
+                 .finalize();
+  return digest_to_scalar(e);
+}
+
+}  // namespace
+
+KeyPair KeyPair::from_seed(const Digest& seed) {
+  KeyPair kp;
+  Digest skd = Hasher(Domain::kSignatureNonce).write(seed).finalize();
+  kp.sk_ = digest_to_scalar(skd);
+  kp.pk_ = ECPoint::generator().mul(kp.sk_).to_affine();
+  return kp;
+}
+
+Digest KeyPair::address() const { return address_of(pk_); }
+
+Digest address_of(const std::pair<u256, u256>& public_key) {
+  return Hasher(Domain::kAddress)
+      .write(public_key.first)
+      .write(public_key.second)
+      .finalize();
+}
+
+Signature KeyPair::sign(const Digest& msg) const {
+  // Deterministic nonce: k = H(sk || msg), reduced into [1, n).
+  Digest kd =
+      Hasher(Domain::kSignatureNonce).write(sk_).write(msg).finalize();
+  u256 k = digest_to_scalar(kd);
+  auto [rx, ry] = ECPoint::generator().mul(k).to_affine();
+  u256 e = challenge(rx, ry, pk_, msg);
+  u256 s = u256::addmod(k, u256::mulmod(e, sk_, secp256k1::kN),
+                        secp256k1::kN);
+  return Signature{rx, ry, s};
+}
+
+bool verify_signature(const std::pair<u256, u256>& public_key,
+                      const Digest& msg, const Signature& sig) {
+  if (sig.s.is_zero() || !(sig.s < secp256k1::kN)) return false;
+  ECPoint r = ECPoint::from_affine(sig.rx, sig.ry);
+  ECPoint p = ECPoint::from_affine(public_key.first, public_key.second);
+  if (!r.on_curve() || !p.on_curve()) return false;
+  u256 e = challenge(sig.rx, sig.ry, public_key, msg);
+  // s*G == R + e*P
+  ECPoint lhs = ECPoint::generator().mul(sig.s);
+  ECPoint rhs = r.add(p.mul(e));
+  return lhs.equals(rhs);
+}
+
+}  // namespace zendoo::crypto

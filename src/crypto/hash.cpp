@@ -1,0 +1,37 @@
+#include "crypto/hash.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::crypto {
+
+std::string Digest::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(64);
+  for (auto b : bytes) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xF]);
+  }
+  return s;
+}
+
+Digest Digest::from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() != 64) {
+    throw std::invalid_argument("Digest::from_hex: need 64 hex chars");
+  }
+  auto nibble = [](char c) -> std::uint8_t {
+    if (c >= '0' && c <= '9') return static_cast<std::uint8_t>(c - '0');
+    if (c >= 'a' && c <= 'f') return static_cast<std::uint8_t>(c - 'a' + 10);
+    if (c >= 'A' && c <= 'F') return static_cast<std::uint8_t>(c - 'A' + 10);
+    throw std::invalid_argument("Digest::from_hex: bad hex digit");
+  };
+  Digest d;
+  for (std::size_t i = 0; i < 32; ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>((nibble(hex[2 * i]) << 4) |
+                                           nibble(hex[2 * i + 1]));
+  }
+  return d;
+}
+
+}  // namespace zendoo::crypto

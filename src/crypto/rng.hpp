@@ -1,0 +1,70 @@
+// Deterministic pseudo-random generator for simulations and tests.
+//
+// xoshiro256** — fast, well-distributed, and fully reproducible from a
+// 64-bit seed. Not used for key material in any security-relevant sense;
+// the whole repository is a deterministic simulation by design so that
+// every test, example and benchmark is replayable.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/hash.hpp"
+
+namespace zendoo::crypto {
+
+/// xoshiro256** PRNG (public-domain algorithm by Blackman & Vigna).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 seeding to spread a small seed over the full state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be non-zero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  u256 next_u256() {
+    return u256{next_u64(), next_u64(), next_u64(), next_u64()};
+  }
+
+  Digest next_digest() { return Digest::from_u256(next_u256()); }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return next_below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace zendoo::crypto

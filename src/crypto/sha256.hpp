@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the collision-resistant hash (Def 2.1 of the paper) underlying
+// every authenticated structure in the system: transaction ids, block
+// hashes, Merkle trees, nullifiers and SNARK proof binding.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+namespace zendoo::crypto {
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage: construct, call update() any number of times, then finalize().
+/// finalize() may only be called once per instance.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb `data` into the hash state.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view data) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+
+  /// Complete padding and return the 32-byte digest.
+  std::array<std::uint8_t, 32> finalize();
+
+  /// One-shot convenience.
+  static std::array<std::uint8_t, 32> digest(
+      std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace zendoo::crypto

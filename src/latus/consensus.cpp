@@ -1,0 +1,67 @@
+#include "latus/consensus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace zendoo::latus {
+
+StakeDistribution::StakeDistribution(
+    std::vector<std::pair<Address, Amount>> stakes)
+    : stakes_(std::move(stakes)) {
+  // Canonical order so every node derives the identical schedule.
+  std::sort(stakes_.begin(), stakes_.end());
+  stakes_.erase(std::remove_if(stakes_.begin(), stakes_.end(),
+                               [](const auto& s) { return s.second == 0; }),
+                stakes_.end());
+  cumulative_.reserve(stakes_.size());
+  for (const auto& [addr, amount] : stakes_) {
+    total_ += amount;
+    cumulative_.push_back(total_);
+  }
+}
+
+const Address& StakeDistribution::owner_of_coin(Amount coin) const {
+  if (coin >= total_) {
+    throw std::out_of_range("StakeDistribution::owner_of_coin");
+  }
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), coin);
+  return stakes_[static_cast<std::size_t>(
+                     std::distance(cumulative_.begin(), it))]
+      .first;
+}
+
+Address select_slot_leader(const StakeDistribution& dist, const Digest& rand,
+                           std::uint64_t epoch, std::uint64_t slot) {
+  if (dist.empty()) {
+    throw std::logic_error("select_slot_leader: empty stake distribution");
+  }
+  Digest h = crypto::Hasher(Domain::kSlotLeader)
+                 .write(rand)
+                 .write_u64(epoch)
+                 .write_u64(slot)
+                 .finalize();
+  // Reduce the digest uniformly into [0, total).
+  crypto::u256 r = h.as_u256().mod(crypto::u256{dist.total()});
+  return dist.owner_of_coin(r.limb[0]);
+}
+
+std::vector<Address> slot_schedule(const StakeDistribution& dist,
+                                   const Digest& rand, std::uint64_t epoch,
+                                   std::uint64_t slots) {
+  std::vector<Address> out;
+  out.reserve(slots);
+  for (std::uint64_t s = 0; s < slots; ++s) {
+    out.push_back(select_slot_leader(dist, rand, epoch, s));
+  }
+  return out;
+}
+
+Digest epoch_randomness(const Digest& prev_epoch_last_block,
+                        std::uint64_t epoch) {
+  return crypto::Hasher(Domain::kEpochRandomness)
+      .write(prev_epoch_last_block)
+      .write_u64(epoch)
+      .finalize();
+}
+
+}  // namespace zendoo::latus

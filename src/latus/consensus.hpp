@@ -1,0 +1,61 @@
+// Latus consensus (paper §5.1): Ouroboros-style slots and epochs with
+// stake-weighted slot-leader selection.
+//
+// Time is divided into consensus epochs of `slots_per_epoch` slots (these
+// are independent of withdrawal epochs, as §5.1.1 stresses). Leaders for an
+// epoch are drawn from the stake distribution snapshot fixed before the
+// epoch begins, using randomness revealed only afterwards (we derive it
+// from the previous epoch's last sidechain block hash). Selection is
+// "follow-the-satoshi": a stakeholder's chance equals its stake share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "latus/state.hpp"
+
+namespace zendoo::latus {
+
+/// Immutable stake snapshot for one consensus epoch.
+class StakeDistribution {
+ public:
+  StakeDistribution() = default;
+  explicit StakeDistribution(std::vector<std::pair<Address, Amount>> stakes);
+
+  [[nodiscard]] Amount total() const { return total_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+  [[nodiscard]] const std::vector<std::pair<Address, Amount>>& entries()
+      const {
+    return stakes_;
+  }
+
+  /// The stakeholder owning the `coin`-th unit (follow-the-satoshi);
+  /// `coin` must be < total().
+  [[nodiscard]] const Address& owner_of_coin(Amount coin) const;
+
+ private:
+  std::vector<std::pair<Address, Amount>> stakes_;   // sorted by address
+  std::vector<Amount> cumulative_;                   // prefix sums
+  Amount total_ = 0;
+};
+
+/// Slot leader of (epoch, slot) under `dist` and epoch randomness `rand`
+/// (§5.1 "Slot Leader Selection Procedure"). Deterministic; every honest
+/// node computes the same schedule.
+[[nodiscard]] Address select_slot_leader(const StakeDistribution& dist,
+                                         const Digest& rand,
+                                         std::uint64_t epoch,
+                                         std::uint64_t slot);
+
+/// Full leader schedule for one epoch.
+[[nodiscard]] std::vector<Address> slot_schedule(const StakeDistribution& dist,
+                                                 const Digest& rand,
+                                                 std::uint64_t epoch,
+                                                 std::uint64_t slots);
+
+/// Epoch randomness: derived from the hash of the last SC block of the
+/// previous epoch (revealed only after the stake snapshot is fixed).
+[[nodiscard]] Digest epoch_randomness(const Digest& prev_epoch_last_block,
+                                      std::uint64_t epoch);
+
+}  // namespace zendoo::latus

@@ -1,0 +1,113 @@
+#include "latus/state.hpp"
+
+#include <algorithm>
+
+namespace zendoo::latus {
+
+std::uint64_t mst_position(const Utxo& utxo, unsigned depth) {
+  // Deterministic and independent of the current MST contents, as §5.2
+  // requires: derived from the UTXO's unique nonce alone.
+  Digest h = crypto::Hasher(Domain::kUtxo)
+                 .write_str("mst-position")
+                 .write(utxo.nonce)
+                 .finalize();
+  std::uint64_t raw = 0;
+  for (int i = 0; i < 8; ++i) {
+    raw = (raw << 8) | h.bytes[static_cast<std::size_t>(i)];
+  }
+  return raw & ((std::uint64_t{1} << depth) - 1);
+}
+
+LatusState::LatusState(unsigned mst_depth)
+    : mst_(mst_depth), delta_(mst_depth) {}
+
+Digest LatusState::commitment() const {
+  return crypto::Hasher(Domain::kStateCommitment)
+      .write(mst_.root())
+      .write(bt_list_root())
+      .finalize();
+}
+
+Digest LatusState::bt_list_root() const {
+  std::vector<Digest> leaves;
+  leaves.reserve(backward_transfers_.size());
+  for (const auto& bt : backward_transfers_) leaves.push_back(bt.leaf_hash());
+  return merkle::merkle_root(leaves);
+}
+
+std::optional<Utxo> LatusState::utxo_at(std::uint64_t pos) const {
+  auto it = utxo_data_.find(pos);
+  if (it == utxo_data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LatusState::contains(const Utxo& utxo) const {
+  auto existing = utxo_at(mst_position(utxo, depth()));
+  return existing.has_value() && *existing == utxo;
+}
+
+Amount LatusState::total_supply() const {
+  Amount sum = 0;
+  for (const auto& [_, u] : utxo_data_) sum += u.amount;
+  return sum;
+}
+
+Amount LatusState::balance_of(const Address& addr) const {
+  Amount sum = 0;
+  for (const auto& [_, u] : utxo_data_) {
+    if (u.addr == addr) sum += u.amount;
+  }
+  return sum;
+}
+
+std::vector<Utxo> LatusState::utxos_of(const Address& addr) const {
+  std::vector<Utxo> out;
+  for (const auto& [_, u] : utxo_data_) {
+    if (u.addr == addr) out.push_back(u);
+  }
+  std::sort(out.begin(), out.end(), [](const Utxo& a, const Utxo& b) {
+    return a.nonce < b.nonce;
+  });
+  return out;
+}
+
+std::vector<std::pair<Address, Amount>> LatusState::stake_snapshot() const {
+  std::unordered_map<Digest, Amount, crypto::DigestHash> per_addr;
+  for (const auto& [_, u] : utxo_data_) per_addr[u.addr] += u.amount;
+  std::vector<std::pair<Address, Amount>> out(per_addr.begin(),
+                                              per_addr.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool LatusState::insert_utxo(const Utxo& utxo) {
+  std::uint64_t pos = mst_position(utxo, depth());
+  if (!mst_.insert(pos, utxo.hash())) return false;
+  utxo_data_[pos] = utxo;
+  delta_.set(pos);
+  return true;
+}
+
+bool LatusState::remove_utxo(const Utxo& utxo) {
+  std::uint64_t pos = mst_position(utxo, depth());
+  auto it = utxo_data_.find(pos);
+  if (it == utxo_data_.end() || !(it->second == utxo)) return false;
+  bool erased = mst_.erase(pos);
+  utxo_data_.erase(it);
+  delta_.set(pos);
+  return erased;
+}
+
+void LatusState::push_backward_transfer(
+    const mainchain::BackwardTransfer& bt) {
+  backward_transfers_.push_back(bt);
+}
+
+merkle::MstDelta LatusState::begin_withdrawal_epoch() {
+  backward_transfers_.clear();
+  merkle::MstDelta out = delta_;
+  delta_ = merkle::MstDelta(depth());
+  return out;
+}
+
+}  // namespace zendoo::latus

@@ -1,0 +1,67 @@
+#include "mainchain/block.hpp"
+
+namespace zendoo::mainchain {
+
+Digest SidechainParams::hash() const {
+  return crypto::Hasher(Domain::kGeneric)
+      .write_str("sc-creation")
+      .write(ledger_id)
+      .write_u64(start_block)
+      .write_u64(epoch_len)
+      .write_u64(submit_len)
+      .write(wcert_vk.id)
+      .write(btr_vk.id)
+      .write(csw_vk.id)
+      .write_u64(wcert_proofdata_len)
+      .write_u64(btr_proofdata_len)
+      .write_u64(csw_proofdata_len)
+      .finalize();
+}
+
+Digest BlockHeader::hash() const {
+  return crypto::Hasher(Domain::kBlockHeader)
+      .write(prev_hash)
+      .write_u64(height)
+      .write(tx_merkle_root)
+      .write(sc_txs_commitment)
+      .write_u64(nonce)
+      .finalize();
+}
+
+Digest Block::compute_tx_merkle_root() const {
+  std::vector<Digest> leaves;
+  leaves.reserve(transactions.size() + sidechain_creations.size() +
+                 certificates.size() + btrs.size() + csws.size());
+  for (const Transaction& tx : transactions) leaves.push_back(tx.id());
+  for (const SidechainParams& sc : sidechain_creations) {
+    leaves.push_back(sc.hash());
+  }
+  for (const WithdrawalCertificate& c : certificates) {
+    leaves.push_back(c.hash());
+  }
+  for (const BtrRequest& b : btrs) leaves.push_back(b.hash());
+  for (const CeasedSidechainWithdrawal& c : csws) leaves.push_back(c.hash());
+  return merkle::merkle_root(leaves);
+}
+
+merkle::ScTxCommitmentTree Block::build_commitment_tree() const {
+  merkle::ScTxCommitmentTree tree;
+  for (const Transaction& tx : transactions) {
+    Digest txid = tx.id();
+    for (std::uint32_t i = 0; i < tx.forward_transfers.size(); ++i) {
+      const ForwardTransferOutput& ft = tx.forward_transfers[i];
+      tree.add_forward_transfer(ft.ledger_id, ft.leaf_hash(txid, i));
+    }
+  }
+  for (const BtrRequest& b : btrs) {
+    tree.add_btr(b.ledger_id, b.hash());
+  }
+  for (const WithdrawalCertificate& c : certificates) {
+    tree.set_wcert(c.ledger_id, c.hash());
+  }
+  // CSWs intentionally excluded (§4.1.3: the commitment covers all actions
+  // "except the CSW because it is used only when the SC is ceased").
+  return tree;
+}
+
+}  // namespace zendoo::mainchain

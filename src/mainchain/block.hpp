@@ -1,0 +1,47 @@
+// Mainchain blocks.
+//
+// The header carries scTxsCommitment (paper §4.1.3): a Merkle commitment to
+// every sidechain-related action in the block, which is what lets sidechain
+// nodes sync against headers alone (§5.5.1). The body carries regular
+// transactions (with embedded Forward Transfers) plus the three standalone
+// posting kinds: sidechain creations, withdrawal certificates, BTRs and
+// CSWs. CSWs are excluded from the commitment, as the paper specifies.
+#pragma once
+
+#include <vector>
+
+#include "mainchain/params.hpp"
+#include "mainchain/types.hpp"
+#include "mainchain/wcert.hpp"
+#include "merkle/commitment.hpp"
+
+namespace zendoo::mainchain {
+
+struct BlockHeader {
+  Digest prev_hash;
+  std::uint64_t height = 0;
+  Digest tx_merkle_root;       ///< over all body content
+  Digest sc_txs_commitment;    ///< §4.1.3 SCTxsCommitment
+  std::uint64_t nonce = 0;     ///< PoW nonce
+
+  [[nodiscard]] Digest hash() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;  ///< first is coinbase
+  std::vector<SidechainParams> sidechain_creations;
+  std::vector<WithdrawalCertificate> certificates;
+  std::vector<BtrRequest> btrs;
+  std::vector<CeasedSidechainWithdrawal> csws;
+
+  [[nodiscard]] Digest hash() const { return header.hash(); }
+
+  /// Merkle root over the whole body (binds body to header).
+  [[nodiscard]] Digest compute_tx_merkle_root() const;
+
+  /// Builds the SCTxsCommitment tree for this block's contents.
+  [[nodiscard]] merkle::ScTxCommitmentTree build_commitment_tree() const;
+};
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,155 @@
+// Mainchain consensus: chain state, block validation, fork choice.
+//
+// ChainState is the deterministic state machine of Def 3.1's mainchain:
+// UTXO set plus the per-sidechain CCTP state the paper defines in §4 —
+// registration, safeguard balances (§4.1.2.2), withdrawal-epoch schedule
+// and certificate quality selection (§4.1.2), ceased-sidechain detection
+// (Def 4.2), nullifier tracking and BTR/CSW processing (§4.1.2.1).
+//
+// Blockchain layers Nakamoto fork choice on top: blocks form a tree, the
+// branch with the greatest height (first-seen tiebreak) is active, and a
+// reorg replays the new branch from genesis — simple, and exactly the
+// observable behaviour sidechains must cope with (§5.1 "Mainchain forks
+// resolution").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mainchain/block.hpp"
+
+namespace zendoo::mainchain {
+
+/// Live state of one registered sidechain as tracked by the mainchain.
+struct SidechainStatus {
+  SidechainParams params;
+  std::uint64_t created_at_height = 0;
+  /// Safeguard balance (§4.1.2.2): FTs credit, finalized WCerts and CSWs
+  /// debit; never exceeded by withdrawals.
+  Amount balance = 0;
+  /// Permanently set when a certificate submission window elapses with no
+  /// accepted certificate (Def 4.2).
+  bool ceased = false;
+
+  /// Best (highest-quality) certificate currently inside its submission
+  /// window, if any, and the epoch it certifies.
+  std::optional<WithdrawalCertificate> pending_cert;
+  std::uint64_t pending_cert_epoch = 0;
+  /// Hash of the MC block that contained the pending certificate.
+  Digest pending_cert_block;
+
+  /// Last epoch whose certificate was finalized (payouts created).
+  std::optional<std::uint64_t> last_finalized_epoch;
+  /// H(B_w): hash of the MC block containing the latest finalized
+  /// certificate — the anchor of BTR/CSW statements (Def 4.5).
+  Digest last_cert_block;
+};
+
+/// The replayable mainchain state machine.
+class ChainState {
+ public:
+  explicit ChainState(ChainParams params);
+
+  /// Validates `block` against the current state and applies it.
+  /// Returns an empty string on success, otherwise a diagnostic and the
+  /// state is left unchanged (strong exception-safety via copy-validate).
+  [[nodiscard]] std::string connect_block(const Block& block);
+
+  /// Validation-only variant: same checks as connect_block, no mutation.
+  [[nodiscard]] std::string dry_run(const Block& block) const;
+
+  // ---- Queries ----
+  [[nodiscard]] std::uint64_t height() const { return height_; }
+  [[nodiscard]] const Digest& tip_hash() const { return tip_; }
+  [[nodiscard]] const TxOutput* find_utxo(const OutPoint& op) const;
+  [[nodiscard]] const SidechainStatus* find_sidechain(
+      const SidechainId& id) const;
+  [[nodiscard]] bool nullifier_used(const SidechainId& id,
+                                    const Digest& nullifier) const;
+  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const;
+  [[nodiscard]] std::size_t utxo_count() const { return utxos_.size(); }
+  [[nodiscard]] const std::map<SidechainId, SidechainStatus>& sidechains()
+      const {
+    return sidechains_;
+  }
+
+  /// Epoch-boundary block hashes (H(B_{epoch-1,last}), H(B_{epoch,last}))
+  /// used in wcert_sysdata; both heights must already exist.
+  [[nodiscard]] std::pair<Digest, Digest> epoch_boundary_hashes(
+      const SidechainParams& params, std::uint64_t epoch) const;
+
+  /// Total value of UTXOs owned by `addr` (test/wallet convenience).
+  [[nodiscard]] Amount balance_of(const Address& addr) const;
+  /// All outpoints owned by `addr`.
+  [[nodiscard]] std::vector<std::pair<OutPoint, TxOutput>> utxos_of(
+      const Address& addr) const;
+
+ private:
+  std::string apply(const Block& block);  // shared by connect/dry_run
+  std::string finalize_epochs(std::uint64_t new_height);
+  std::string apply_transaction(const Transaction& tx, bool coinbase_slot,
+                                Amount* fees);
+  std::string apply_creation(const SidechainParams& sc,
+                             std::uint64_t new_height);
+  std::string apply_certificate(const WithdrawalCertificate& cert,
+                                std::uint64_t new_height,
+                                const Digest& block_hash);
+  std::string apply_btr(const BtrRequest& btr);
+  std::string apply_csw(const CeasedSidechainWithdrawal& csw);
+
+  ChainParams params_;
+  std::unordered_map<OutPoint, TxOutput, OutPointHash> utxos_;
+  std::map<SidechainId, SidechainStatus> sidechains_;
+  /// Used nullifiers per sidechain.
+  std::unordered_set<Digest, crypto::DigestHash> nullifiers_;
+  /// Active-chain block hash per height.
+  std::vector<Digest> block_hashes_;
+  std::uint64_t height_ = 0;
+  Digest tip_;
+  bool genesis_connected_ = false;
+};
+
+/// Block tree with Nakamoto fork choice.
+class Blockchain {
+ public:
+  explicit Blockchain(ChainParams params);
+
+  struct SubmitResult {
+    bool accepted = false;   ///< block stored (may or may not be active)
+    bool reorged = false;    ///< fork choice switched branches
+    std::string error;       ///< non-empty iff rejected
+  };
+
+  /// Validate and store a block; extends the tree and may switch the
+  /// active branch (longest chain, first-seen tiebreak).
+  SubmitResult submit_block(const Block& block);
+
+  [[nodiscard]] const ChainState& state() const { return state_; }
+  [[nodiscard]] std::uint64_t height() const { return state_.height(); }
+  [[nodiscard]] const Digest& tip_hash() const { return state_.tip_hash(); }
+  [[nodiscard]] const Block* find_block(const Digest& hash) const;
+  [[nodiscard]] const Block& genesis() const;
+  [[nodiscard]] const ChainParams& params() const { return params_; }
+  /// Active-chain block hash at `h`.
+  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const {
+    return state_.hash_at_height(h);
+  }
+  /// Active chain as block hashes, genesis first.
+  [[nodiscard]] std::vector<Digest> active_chain() const;
+
+ private:
+  [[nodiscard]] std::vector<const Block*> branch_to(const Digest& tip) const;
+  [[nodiscard]] std::string structural_check(const Block& block) const;
+
+  ChainParams params_;
+  std::unordered_map<Digest, Block, crypto::DigestHash> blocks_;
+  std::unordered_map<Digest, std::uint64_t, crypto::DigestHash> heights_;
+  Digest genesis_hash_;
+  ChainState state_;
+};
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,117 @@
+// Binary wire codec for mainchain types.
+//
+// A deterministic, length-prefixed binary format for everything a
+// mainchain node persists or relays: transactions, the three cross-chain
+// posting kinds, sidechain registrations, and whole blocks. Decoding is
+// strict — trailing bytes, truncation and oversized counts are errors —
+// so the codec can face untrusted peers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "mainchain/block.hpp"
+
+namespace zendoo::mainchain::codec {
+
+/// Raised on any malformed input during decoding.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_digest(const crypto::Digest& d);
+  void put_u256(const crypto::u256& v);
+  void put_bool(bool b) { put_u8(b ? 1 : 0); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked byte source.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] crypto::Digest get_digest();
+  [[nodiscard]] crypto::u256 get_u256();
+  [[nodiscard]] bool get_bool();
+
+  /// Bounded element count (guards against allocation bombs).
+  [[nodiscard]] std::uint64_t get_count(std::uint64_t max);
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+  /// Throws unless every byte was consumed.
+  void expect_done() const;
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// -- per-type encode/decode (decode throws CodecError on bad input) --
+
+void encode(Writer& w, const Signature& sig);
+Signature decode_signature(Reader& r);
+
+void encode(Writer& w, const TxInput& in);
+TxInput decode_tx_input(Reader& r);
+
+void encode(Writer& w, const TxOutput& out);
+TxOutput decode_tx_output(Reader& r);
+
+void encode(Writer& w, const ForwardTransferOutput& ft);
+ForwardTransferOutput decode_forward_transfer(Reader& r);
+
+void encode(Writer& w, const Transaction& tx);
+Transaction decode_transaction(Reader& r);
+
+void encode(Writer& w, const BackwardTransfer& bt);
+BackwardTransfer decode_backward_transfer(Reader& r);
+
+void encode(Writer& w, const WithdrawalCertificate& cert);
+WithdrawalCertificate decode_certificate(Reader& r);
+
+void encode(Writer& w, const BtrRequest& btr);
+BtrRequest decode_btr(Reader& r);
+
+void encode(Writer& w, const CeasedSidechainWithdrawal& csw);
+CeasedSidechainWithdrawal decode_csw(Reader& r);
+
+void encode(Writer& w, const SidechainParams& p);
+SidechainParams decode_sidechain_params(Reader& r);
+
+void encode(Writer& w, const BlockHeader& h);
+BlockHeader decode_block_header(Reader& r);
+
+void encode(Writer& w, const Block& b);
+Block decode_block(Reader& r);
+
+// -- whole-message helpers --
+
+[[nodiscard]] std::vector<std::uint8_t> encode_block(const Block& b);
+/// Decodes a block and requires the buffer to be fully consumed.
+[[nodiscard]] Block decode_block(std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_transaction(
+    const Transaction& tx);
+[[nodiscard]] Transaction decode_transaction(
+    std::span<const std::uint8_t> data);
+
+}  // namespace zendoo::mainchain::codec

@@ -1,0 +1,163 @@
+#include "mainchain/miner.hpp"
+
+#include <functional>
+
+namespace zendoo::mainchain {
+
+namespace {
+
+/// Recompute header commitments for the current body.
+void refresh_header(Block& block) {
+  block.header.tx_merkle_root = block.compute_tx_merkle_root();
+  block.header.sc_txs_commitment = block.build_commitment_tree().root();
+}
+
+}  // namespace
+
+Block Miner::build_block(const Mempool& pool) const {
+  const ChainState& state = chain_.state();
+
+  Block block;
+  block.header.prev_hash = state.tip_hash();
+  block.header.height = state.height() + 1;
+
+  // Coinbase placeholder (value fixed after fee selection).
+  Transaction coinbase;
+  coinbase.is_coinbase = true;
+  coinbase.coinbase_height = block.header.height;
+  coinbase.outputs.push_back(
+      TxOutput{coinbase_address_, chain_.params().block_subsidy});
+  block.transactions.push_back(coinbase);
+
+  // Greedy selection: keep an item iff the block still dry-runs cleanly
+  // with it added. Dropped items simply stay out (mempool policy).
+  auto try_add = [&](const std::function<void(Block&)>& add,
+                     const std::function<void(Block&)>& remove) {
+    add(block);
+    refresh_header(block);
+    if (!state.dry_run(block).empty()) {
+      remove(block);
+      refresh_header(block);
+    }
+  };
+
+  for (const SidechainParams& sc : pool.sidechain_creations) {
+    try_add([&](Block& b) { b.sidechain_creations.push_back(sc); },
+            [](Block& b) { b.sidechain_creations.pop_back(); });
+  }
+  for (const Transaction& tx : pool.transactions) {
+    try_add([&](Block& b) { b.transactions.push_back(tx); },
+            [](Block& b) { b.transactions.pop_back(); });
+  }
+  for (const WithdrawalCertificate& cert : pool.certificates) {
+    try_add([&](Block& b) { b.certificates.push_back(cert); },
+            [](Block& b) { b.certificates.pop_back(); });
+  }
+  for (const BtrRequest& btr : pool.btrs) {
+    try_add([&](Block& b) { b.btrs.push_back(btr); },
+            [](Block& b) { b.btrs.pop_back(); });
+  }
+  for (const CeasedSidechainWithdrawal& csw : pool.csws) {
+    try_add([&](Block& b) { b.csws.push_back(csw); },
+            [](Block& b) { b.csws.pop_back(); });
+  }
+
+  // Claim fees: total inputs minus outputs across included transactions.
+  unsigned __int128 fees = 0;
+  for (std::size_t i = 1; i < block.transactions.size(); ++i) {
+    const Transaction& tx = block.transactions[i];
+    unsigned __int128 in = 0, out = 0;
+    for (const TxInput& input : tx.inputs) {
+      const TxOutput* utxo = state.find_utxo(input.prevout);
+      if (utxo != nullptr) in += utxo->amount;
+    }
+    out += tx.total_output();
+    out += tx.total_forward_transfer();
+    if (in > out) fees += in - out;
+  }
+  block.transactions[0].outputs[0].amount =
+      chain_.params().block_subsidy + static_cast<Amount>(fees);
+  refresh_header(block);
+
+  solve_pow(block, chain_.params().pow_target);
+  return block;
+}
+
+void Miner::solve_pow(Block& block, const crypto::u256& target) {
+  block.header.nonce = 0;
+  while (!(block.hash().as_u256() < target)) {
+    ++block.header.nonce;
+  }
+}
+
+Blockchain::SubmitResult Miner::mine_and_submit(const Mempool& pool,
+                                                Block* out) {
+  Block block = build_block(pool);
+  auto result = chain_.submit_block(block);
+  if (out != nullptr) *out = std::move(block);
+  return result;
+}
+
+void Miner::mine_empty(std::size_t n) {
+  Mempool empty;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto result = mine_and_submit(empty);
+    if (!result.accepted) {
+      throw std::logic_error("mine_empty: submit failed: " + result.error);
+    }
+  }
+}
+
+std::optional<Transaction> Wallet::spend(
+    const ChainState& state, Amount amount, Amount fee,
+    const std::function<void(Transaction&)>& add_payload) const {
+  auto coins = state.utxos_of(address());
+  Transaction tx;
+  Amount gathered = 0;
+  Amount needed = amount + fee;
+  for (const auto& [op, out] : coins) {
+    if (gathered >= needed) break;
+    TxInput in;
+    in.prevout = op;
+    tx.inputs.push_back(in);
+    gathered += out.amount;
+  }
+  if (gathered < needed) return std::nullopt;
+  add_payload(tx);
+  if (gathered > needed) {
+    tx.outputs.push_back(TxOutput{address(), gathered - needed});
+  }
+  return sign_all_inputs(std::move(tx), key_);
+}
+
+std::optional<Transaction> Wallet::pay(const ChainState& state,
+                                       const Address& to, Amount amount,
+                                       Amount fee) const {
+  return spend(state, amount, fee, [&](Transaction& tx) {
+    tx.outputs.push_back(TxOutput{to, amount});
+  });
+}
+
+std::optional<Transaction> Wallet::forward_transfer(
+    const ChainState& state, const SidechainId& ledger_id,
+    std::vector<Digest> receiver_metadata, Amount amount, Amount fee) const {
+  return spend(state, amount, fee, [&](Transaction& tx) {
+    tx.forward_transfers.push_back(ForwardTransferOutput{
+        ledger_id, std::move(receiver_metadata), amount});
+  });
+}
+
+std::optional<Transaction> Wallet::forward_transfer_many(
+    const ChainState& state, const SidechainId& ledger_id,
+    const std::vector<FtSpec>& transfers, Amount fee) const {
+  Amount total = 0;
+  for (const FtSpec& t : transfers) total += t.amount;
+  return spend(state, total, fee, [&](Transaction& tx) {
+    for (const FtSpec& t : transfers) {
+      tx.forward_transfers.push_back(
+          ForwardTransferOutput{ledger_id, t.receiver_metadata, t.amount});
+    }
+  });
+}
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,106 @@
+// Block assembly and proof-of-work mining, plus a minimal wallet used by
+// examples and tests to build signed payment / forward-transfer
+// transactions.
+#pragma once
+
+#include <functional>
+
+#include "mainchain/chain.hpp"
+
+namespace zendoo::mainchain {
+
+/// Pending items awaiting inclusion in a block. Invalid items are dropped
+/// (not included) at assembly time, mirroring mempool policy.
+struct Mempool {
+  std::vector<Transaction> transactions;
+  std::vector<SidechainParams> sidechain_creations;
+  std::vector<WithdrawalCertificate> certificates;
+  std::vector<BtrRequest> btrs;
+  std::vector<CeasedSidechainWithdrawal> csws;
+
+  void clear() {
+    transactions.clear();
+    sidechain_creations.clear();
+    certificates.clear();
+    btrs.clear();
+    csws.clear();
+  }
+
+  [[nodiscard]] bool empty() const {
+    return transactions.empty() && sidechain_creations.empty() &&
+           certificates.empty() && btrs.empty() && csws.empty();
+  }
+};
+
+/// Builds and mines blocks on top of a Blockchain's active tip.
+class Miner {
+ public:
+  Miner(Blockchain& chain, Address coinbase_address)
+      : chain_(chain), coinbase_address_(coinbase_address) {}
+
+  /// Assemble a valid block from `pool` on the current tip: greedily keeps
+  /// every pool item that still validates, builds the coinbase claiming
+  /// subsidy + fees, fills in both header commitments, and mines the nonce.
+  [[nodiscard]] Block build_block(const Mempool& pool) const;
+
+  /// Build from `pool`, mine, and submit. Returns the submit result and,
+  /// via `out`, the block (useful for driving sidechain sync).
+  Blockchain::SubmitResult mine_and_submit(const Mempool& pool,
+                                           Block* out = nullptr);
+
+  /// Convenience: mine `n` empty blocks.
+  void mine_empty(std::size_t n);
+
+  /// Brute-force the header nonce until the hash meets `target`.
+  static void solve_pow(Block& block, const crypto::u256& target);
+
+ private:
+  Blockchain& chain_;
+  Address coinbase_address_;
+};
+
+/// Minimal key-bound wallet over the chain state: tracks nothing, just
+/// queries the UTXO set for spendable outputs of its address.
+class Wallet {
+ public:
+  explicit Wallet(crypto::KeyPair key) : key_(std::move(key)) {}
+
+  [[nodiscard]] const crypto::KeyPair& key() const { return key_; }
+  [[nodiscard]] Address address() const { return key_.address(); }
+  [[nodiscard]] Amount balance(const ChainState& state) const {
+    return state.balance_of(address());
+  }
+
+  /// Build a signed payment of `amount` to `to`, change back to self.
+  /// Returns nullopt when funds are insufficient.
+  [[nodiscard]] std::optional<Transaction> pay(const ChainState& state,
+                                               const Address& to,
+                                               Amount amount,
+                                               Amount fee = 0) const;
+
+  /// Build a signed forward transfer of `amount` to sidechain `ledger_id`
+  /// (§4.1.1), change back to self.
+  [[nodiscard]] std::optional<Transaction> forward_transfer(
+      const ChainState& state, const SidechainId& ledger_id,
+      std::vector<Digest> receiver_metadata, Amount amount,
+      Amount fee = 0) const;
+
+  /// Build one signed transaction carrying several forward transfers (all
+  /// to the same sidechain), e.g. a funding round for many receivers.
+  struct FtSpec {
+    std::vector<Digest> receiver_metadata;
+    Amount amount = 0;
+  };
+  [[nodiscard]] std::optional<Transaction> forward_transfer_many(
+      const ChainState& state, const SidechainId& ledger_id,
+      const std::vector<FtSpec>& transfers, Amount fee = 0) const;
+
+ private:
+  [[nodiscard]] std::optional<Transaction> spend(
+      const ChainState& state, Amount amount, Amount fee,
+      const std::function<void(Transaction&)>& add_payload) const;
+
+  crypto::KeyPair key_;
+};
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,86 @@
+#include "mainchain/types.hpp"
+
+namespace zendoo::mainchain {
+
+namespace {
+
+void write_outputs(crypto::Hasher& h, const Transaction& tx) {
+  h.write_u64(tx.outputs.size());
+  for (const TxOutput& o : tx.outputs) {
+    h.write(o.addr).write_u64(o.amount);
+  }
+  h.write_u64(tx.forward_transfers.size());
+  for (const ForwardTransferOutput& ft : tx.forward_transfers) {
+    h.write(ft.ledger_id).write_u64(ft.receiver_metadata.size());
+    for (const Digest& m : ft.receiver_metadata) h.write(m);
+    h.write_u64(ft.amount);
+  }
+}
+
+void write_inputs(crypto::Hasher& h, const Transaction& tx,
+                  bool with_signatures) {
+  h.write_u64(tx.inputs.size());
+  for (const TxInput& in : tx.inputs) {
+    h.write(in.prevout.txid).write_u64(in.prevout.index);
+    h.write(in.pubkey.first).write(in.pubkey.second);
+    if (with_signatures) {
+      h.write(in.sig.rx).write(in.sig.ry).write(in.sig.s);
+    }
+  }
+}
+
+}  // namespace
+
+Digest ForwardTransferOutput::leaf_hash(const Digest& containing_tx,
+                                        std::uint32_t index) const {
+  crypto::Hasher h(Domain::kMerkleLeaf);
+  h.write(containing_tx).write_u64(index).write(ledger_id);
+  h.write_u64(receiver_metadata.size());
+  for (const Digest& m : receiver_metadata) h.write(m);
+  h.write_u64(amount);
+  return h.finalize();
+}
+
+Digest Transaction::id() const {
+  crypto::Hasher h(Domain::kTxId);
+  h.write_u8(is_coinbase ? 1 : 0);
+  h.write_u64(coinbase_height);
+  write_inputs(h, *this, /*with_signatures=*/true);
+  write_outputs(h, *this);
+  return h.finalize();
+}
+
+Digest Transaction::signing_digest() const {
+  crypto::Hasher h(Domain::kTxId);
+  h.write_u8(is_coinbase ? 1 : 0);
+  h.write_u64(coinbase_height);
+  write_inputs(h, *this, /*with_signatures=*/false);
+  write_outputs(h, *this);
+  return h.finalize();
+}
+
+Amount Transaction::total_output() const {
+  Amount sum = 0;
+  for (const TxOutput& o : outputs) sum += o.amount;
+  return sum;
+}
+
+Amount Transaction::total_forward_transfer() const {
+  Amount sum = 0;
+  for (const ForwardTransferOutput& ft : forward_transfers) sum += ft.amount;
+  return sum;
+}
+
+Transaction sign_all_inputs(Transaction tx, const crypto::KeyPair& key) {
+  for (TxInput& in : tx.inputs) {
+    in.pubkey = key.public_key();
+  }
+  Digest msg = tx.signing_digest();
+  Signature sig = key.sign(msg);
+  for (TxInput& in : tx.inputs) {
+    in.sig = sig;
+  }
+  return tx;
+}
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,105 @@
+// Mainchain value types: UTXO transactions with Forward Transfer outputs
+// (paper §4.1.1).
+//
+// The mainchain follows the Bitcoin UTXO model (Def 3.1): multi-input
+// multi-output transactions authorized by signatures. A Forward Transfer is
+// modelled exactly as the paper suggests for UTXO chains — "a special
+// unspendable transaction output in a regular multi-input multi-output
+// transaction" that destroys coins on the MC and carries sidechain-bound
+// metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/ecc.hpp"
+#include "crypto/hash.hpp"
+
+namespace zendoo::mainchain {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::Signature;
+
+/// Coin amounts (indivisible base units).
+using Amount = std::uint64_t;
+/// Receiver identity: hash of a public key.
+using Address = Digest;
+/// Sidechain identifier (ledgerId in the paper).
+using SidechainId = Digest;
+
+/// Reference to a spendable output: creating transaction (or certificate)
+/// id plus the output index.
+struct OutPoint {
+  Digest txid;
+  std::uint32_t index = 0;
+
+  friend bool operator==(const OutPoint&, const OutPoint&) = default;
+  friend auto operator<=>(const OutPoint&, const OutPoint&) = default;
+};
+
+struct OutPointHash {
+  std::size_t operator()(const OutPoint& o) const {
+    return crypto::DigestHash{}(o.txid) * 1000003u + o.index;
+  }
+};
+
+/// A spendable transaction output.
+struct TxOutput {
+  Address addr;
+  Amount amount = 0;
+
+  friend bool operator==(const TxOutput&, const TxOutput&) = default;
+};
+
+/// A transaction input: the spent outpoint plus the spending authorization
+/// (public key whose hash must equal the output address, and a signature
+/// over the transaction's signing digest).
+struct TxInput {
+  OutPoint prevout;
+  std::pair<crypto::u256, crypto::u256> pubkey;
+  Signature sig;
+};
+
+/// Forward Transfer output (Def 4.1): destroys `amount` coins on the
+/// mainchain in favour of sidechain `ledger_id`. `receiver_metadata` is a
+/// list of typed values that is opaque to the MC — its semantics belong to
+/// the sidechain (Latus expects [receiverAddr, paybackAddr], §5.3.2).
+struct ForwardTransferOutput {
+  SidechainId ledger_id;
+  std::vector<Digest> receiver_metadata;
+  Amount amount = 0;
+
+  /// Digest of this FT as a leaf of the SCTxsCommitment FT subtree.
+  /// `index` is the FT's position within its transaction, making leaves of
+  /// identical transfers in one transaction distinct.
+  [[nodiscard]] Digest leaf_hash(const Digest& containing_tx,
+                                 std::uint32_t index) const;
+};
+
+/// A mainchain transaction (regular payment, possibly carrying FTs).
+struct Transaction {
+  std::vector<TxInput> inputs;
+  std::vector<TxOutput> outputs;
+  std::vector<ForwardTransferOutput> forward_transfers;
+  /// Coinbase marker: no inputs; value minted per consensus rules.
+  /// `coinbase_height` makes coinbase tx ids unique per block (BIP34-like).
+  bool is_coinbase = false;
+  std::uint64_t coinbase_height = 0;
+
+  /// Transaction id: hash over all content including signatures.
+  [[nodiscard]] Digest id() const;
+
+  /// Digest signed by every input (all content except signatures).
+  [[nodiscard]] Digest signing_digest() const;
+
+  [[nodiscard]] Amount total_output() const;
+  [[nodiscard]] Amount total_forward_transfer() const;
+};
+
+/// Signs every input of `tx` with `key` (all inputs spend outputs owned by
+/// this key). Returns the signed transaction.
+Transaction sign_all_inputs(Transaction tx, const crypto::KeyPair& key);
+
+}  // namespace zendoo::mainchain

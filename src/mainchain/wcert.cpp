@@ -1,0 +1,109 @@
+#include "mainchain/wcert.hpp"
+
+namespace zendoo::mainchain {
+
+namespace {
+
+Digest proofdata_merkle_root(const std::vector<Digest>& proofdata) {
+  return merkle::merkle_root(proofdata);
+}
+
+void write_proofdata(crypto::Hasher& h, const std::vector<Digest>& proofdata,
+                     const snark::Proof& proof) {
+  h.write_u64(proofdata.size());
+  for (const Digest& d : proofdata) h.write(d);
+  h.write(proof.binding);
+}
+
+}  // namespace
+
+Digest WithdrawalCertificate::hash() const {
+  crypto::Hasher h(Domain::kCertificate);
+  h.write(ledger_id).write_u64(epoch_id).write_u64(quality);
+  h.write_u64(bt_list.size());
+  for (const BackwardTransfer& bt : bt_list) {
+    h.write(bt.receiver).write_u64(bt.amount);
+  }
+  write_proofdata(h, proofdata, proof);
+  return h.finalize();
+}
+
+Digest WithdrawalCertificate::bt_list_root() const {
+  std::vector<Digest> leaves;
+  leaves.reserve(bt_list.size());
+  for (const BackwardTransfer& bt : bt_list) leaves.push_back(bt.leaf_hash());
+  return merkle::merkle_root(leaves);
+}
+
+Digest WithdrawalCertificate::proofdata_root() const {
+  return proofdata_merkle_root(proofdata);
+}
+
+Amount WithdrawalCertificate::total_withdrawn() const {
+  Amount sum = 0;
+  for (const BackwardTransfer& bt : bt_list) sum += bt.amount;
+  return sum;
+}
+
+Digest BtrRequest::hash() const {
+  crypto::Hasher h(Domain::kCertificate);
+  h.write_str("btr");
+  h.write(ledger_id).write(receiver).write_u64(amount).write(nullifier);
+  write_proofdata(h, proofdata, proof);
+  return h.finalize();
+}
+
+Digest BtrRequest::proofdata_root() const {
+  return proofdata_merkle_root(proofdata);
+}
+
+Digest CeasedSidechainWithdrawal::hash() const {
+  crypto::Hasher h(Domain::kCertificate);
+  h.write_str("csw");
+  h.write(ledger_id).write(receiver).write_u64(amount).write(nullifier);
+  write_proofdata(h, proofdata, proof);
+  return h.finalize();
+}
+
+Digest CeasedSidechainWithdrawal::proofdata_root() const {
+  return proofdata_merkle_root(proofdata);
+}
+
+snark::Statement wcert_statement(std::uint64_t quality,
+                                 const Digest& bt_list_root,
+                                 const Digest& prev_epoch_last_block,
+                                 const Digest& epoch_last_block,
+                                 const Digest& proofdata_root) {
+  return {snark::statement_u64(quality), bt_list_root, prev_epoch_last_block,
+          epoch_last_block, proofdata_root};
+}
+
+snark::Statement wcert_statement_for(const WithdrawalCertificate& cert,
+                                     const Digest& prev_epoch_last_block,
+                                     const Digest& epoch_last_block) {
+  return wcert_statement(cert.quality, cert.bt_list_root(),
+                         prev_epoch_last_block, epoch_last_block,
+                         cert.proofdata_root());
+}
+
+snark::Statement btr_statement(const Digest& last_cert_block,
+                               const Digest& nullifier,
+                               const Address& receiver, Amount amount,
+                               const Digest& proofdata_root) {
+  return {last_cert_block, nullifier, receiver, snark::statement_u64(amount),
+          proofdata_root};
+}
+
+snark::Statement csw_statement(const Digest& last_cert_block,
+                               const Digest& nullifier,
+                               const Address& receiver, Amount amount,
+                               const Digest& proofdata_root) {
+  // Identical layout to the BTR (Def 4.6) but domain-separated so a BTR
+  // proof can never be replayed as a CSW proof.
+  snark::Statement s = btr_statement(last_cert_block, nullifier, receiver,
+                                     amount, proofdata_root);
+  s.push_back(crypto::hash_str(Domain::kSnarkStatement, "csw"));
+  return s;
+}
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,112 @@
+// Cross-chain postings verified by the mainchain: Withdrawal Certificates
+// (Def 4.4), Backward Transfer Requests (Def 4.5) and Ceased Sidechain
+// Withdrawals (Def 4.6), plus the exact SNARK public-input layouts the
+// paper fixes for each (wcert_sysdata / btr_sysdata).
+#pragma once
+
+#include <vector>
+
+#include "mainchain/types.hpp"
+#include "merkle/mht.hpp"
+#include "snark/snark.hpp"
+
+namespace zendoo::mainchain {
+
+/// Backward Transfer (Def 4.3): credit `amount` to `receiver` on the MC.
+struct BackwardTransfer {
+  Address receiver;
+  Amount amount = 0;
+
+  friend bool operator==(const BackwardTransfer&,
+                         const BackwardTransfer&) = default;
+
+  [[nodiscard]] Digest leaf_hash() const {
+    return crypto::Hasher(Domain::kMerkleLeaf)
+        .write(receiver)
+        .write_u64(amount)
+        .finalize();
+  }
+};
+
+/// Withdrawal Certificate (Def 4.4) — the sidechain heartbeat carrying the
+/// epoch's backward transfers and the sidechain-defined SNARK proof.
+struct WithdrawalCertificate {
+  SidechainId ledger_id;
+  std::uint64_t epoch_id = 0;
+  std::uint64_t quality = 0;
+  std::vector<BackwardTransfer> bt_list;
+  std::vector<Digest> proofdata;  ///< sidechain-defined public inputs
+  snark::Proof proof;
+
+  /// Certificate identity (also the "txid" of its BT payout outputs).
+  [[nodiscard]] Digest hash() const;
+
+  /// MH(BTList): Merkle root over the backward-transfer leaves.
+  [[nodiscard]] Digest bt_list_root() const;
+
+  /// MH(proofdata): Merkle root over the sidechain-defined public inputs.
+  [[nodiscard]] Digest proofdata_root() const;
+
+  [[nodiscard]] Amount total_withdrawn() const;
+};
+
+/// Backward Transfer Request (Def 4.5): submitted on the MC, synced to the
+/// SC, no direct payment.
+struct BtrRequest {
+  SidechainId ledger_id;
+  Address receiver;
+  Amount amount = 0;
+  Digest nullifier;
+  std::vector<Digest> proofdata;
+  snark::Proof proof;
+
+  [[nodiscard]] Digest hash() const;
+  [[nodiscard]] Digest proofdata_root() const;
+};
+
+/// Ceased Sidechain Withdrawal (Def 4.6): same shape as a BTR but performs
+/// a direct payment on the MC.
+struct CeasedSidechainWithdrawal {
+  SidechainId ledger_id;
+  Address receiver;
+  Amount amount = 0;
+  Digest nullifier;
+  std::vector<Digest> proofdata;
+  snark::Proof proof;
+
+  [[nodiscard]] Digest hash() const;
+  [[nodiscard]] Digest proofdata_root() const;
+};
+
+// ---- SNARK public-input layouts (fixed by the MC consensus) ----
+//
+// public_input = (sysdata..., MH(proofdata)) as Def 4.4/4.5 specify. The
+// statement encoding is the canonical digest list consumed by
+// snark::PredicateSnark::verify.
+
+/// wcert_sysdata = (quality, MH(BTList), H(B_{i-1,last}), H(B_{i,last})).
+snark::Statement wcert_statement(std::uint64_t quality,
+                                 const Digest& bt_list_root,
+                                 const Digest& prev_epoch_last_block,
+                                 const Digest& epoch_last_block,
+                                 const Digest& proofdata_root);
+
+/// Statement for a concrete certificate given the two epoch-boundary
+/// block hashes.
+snark::Statement wcert_statement_for(const WithdrawalCertificate& cert,
+                                     const Digest& prev_epoch_last_block,
+                                     const Digest& epoch_last_block);
+
+/// btr_sysdata = (H(B_w), nullifier, receiver, amount).
+snark::Statement btr_statement(const Digest& last_cert_block,
+                               const Digest& nullifier,
+                               const Address& receiver, Amount amount,
+                               const Digest& proofdata_root);
+
+/// CSW uses the same sysdata layout as the BTR (Def 4.6).
+snark::Statement csw_statement(const Digest& last_cert_block,
+                               const Digest& nullifier,
+                               const Address& receiver, Amount amount,
+                               const Digest& proofdata_root);
+
+}  // namespace zendoo::mainchain

@@ -1,0 +1,84 @@
+#include "merkle/mht.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::merkle {
+
+namespace {
+Digest empty_leaf() {
+  return crypto::Hasher(Domain::kMerkleEmpty).finalize();
+}
+}  // namespace
+
+Digest MerkleTree::empty_root() { return empty_leaf(); }
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  leaf_count_ = leaves.size();
+  if (leaves.empty()) {
+    root_ = empty_root();
+    depth_ = 0;
+    levels_.push_back({root_});
+    return;
+  }
+  // Pad to the next power of two with empty digests.
+  std::size_t width = 1;
+  depth_ = 0;
+  while (width < leaves.size()) {
+    width *= 2;
+    ++depth_;
+  }
+  leaves.resize(width, empty_leaf());
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve(prev.size() / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      next.push_back(crypto::hash_pair(Domain::kMerkleNode, prev[i],
+                                       prev[i + 1]));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::prove(std::uint64_t index) const {
+  if (index >= leaf_count_) {
+    throw std::out_of_range("MerkleTree::prove: index out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::uint64_t pos = index;
+  for (unsigned level = 0; level < depth_; ++level) {
+    std::uint64_t sibling = pos ^ 1;
+    proof.siblings.push_back(levels_[level][sibling]);
+    pos >>= 1;
+  }
+  return proof;
+}
+
+Digest MerkleTree::root_from_proof(const Digest& leaf,
+                                   const MerkleProof& proof) {
+  Digest acc = leaf;
+  std::uint64_t pos = proof.leaf_index;
+  for (const Digest& sibling : proof.siblings) {
+    if (pos & 1) {
+      acc = crypto::hash_pair(Domain::kMerkleNode, sibling, acc);
+    } else {
+      acc = crypto::hash_pair(Domain::kMerkleNode, acc, sibling);
+    }
+    pos >>= 1;
+  }
+  return acc;
+}
+
+bool MerkleTree::verify(const Digest& root, const Digest& leaf,
+                        const MerkleProof& proof) {
+  return root_from_proof(leaf, proof) == root;
+}
+
+Digest merkle_root(const std::vector<Digest>& leaves) {
+  return MerkleTree(leaves).root();
+}
+
+}  // namespace zendoo::merkle

@@ -1,0 +1,68 @@
+// Merkle Hash Tree (paper §2.1 Def 2.2, Fig. 2).
+//
+// A binary hash tree over an ordered list of leaf digests, padded to the
+// next power of two with domain-separated "empty" digests. Produces
+// logarithmic membership proofs verifiable against the root alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hash.hpp"
+
+namespace zendoo::merkle {
+
+using crypto::Digest;
+using crypto::Domain;
+
+/// A Merkle membership proof: the leaf's index plus the sibling digest on
+/// every level from the leaf up to (but excluding) the root.
+struct MerkleProof {
+  std::uint64_t leaf_index = 0;
+  std::vector<Digest> siblings;
+
+  friend bool operator==(const MerkleProof&, const MerkleProof&) = default;
+};
+
+/// Immutable Merkle Hash Tree built over a list of leaf digests.
+///
+/// Leaves are the caller's digests verbatim (callers hash their payloads
+/// with Domain::kMerkleLeaf); interior nodes use Domain::kMerkleNode and
+/// padding uses Domain::kMerkleEmpty, so the three level kinds can never
+/// be confused for one another.
+class MerkleTree {
+ public:
+  /// Build a tree over `leaves`. An empty list yields a canonical
+  /// empty-tree root.
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  [[nodiscard]] const Digest& root() const { return root_; }
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+  [[nodiscard]] unsigned depth() const { return depth_; }
+
+  /// Membership proof for the leaf at `index` (must be < leaf_count()).
+  [[nodiscard]] MerkleProof prove(std::uint64_t index) const;
+
+  /// Verify that `leaf` sits at proof.leaf_index under `root`.
+  static bool verify(const Digest& root, const Digest& leaf,
+                     const MerkleProof& proof);
+
+  /// Root recomputed from a leaf and a proof (exposed for SNARK circuits
+  /// that need the intermediate value).
+  static Digest root_from_proof(const Digest& leaf, const MerkleProof& proof);
+
+  /// Canonical root of a tree with no leaves.
+  static Digest empty_root();
+
+ private:
+  // levels_[0] = padded leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+  Digest root_;
+  std::size_t leaf_count_ = 0;
+  unsigned depth_ = 0;
+};
+
+/// Convenience: root of a Merkle tree over `leaves` without keeping the tree.
+[[nodiscard]] Digest merkle_root(const std::vector<Digest>& leaves);
+
+}  // namespace zendoo::merkle

@@ -1,0 +1,129 @@
+#include "merkle/mst.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace zendoo::merkle {
+
+void MstDelta::merge(const MstDelta& other) {
+  if (depth_ != other.depth_) {
+    throw std::invalid_argument("MstDelta::merge: depth mismatch");
+  }
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+}
+
+std::uint64_t MstDelta::popcount() const {
+  std::uint64_t n = 0;
+  for (auto w : bits_) n += static_cast<std::uint64_t>(std::popcount(w));
+  return n;
+}
+
+Digest MstDelta::hash() const {
+  crypto::Hasher h(Domain::kStateCommitment);
+  h.write_u64(depth_);
+  for (auto w : bits_) h.write_u64(w);
+  return h.finalize();
+}
+
+Digest MerkleStateTree::empty_leaf_digest() {
+  return crypto::Hasher(Domain::kMerkleEmpty).finalize();
+}
+
+MerkleStateTree::MerkleStateTree(unsigned depth) : depth_(depth) {
+  if (depth == 0 || depth > 48) {
+    throw std::invalid_argument("MerkleStateTree: depth must be in [1,48]");
+  }
+  empty_.resize(depth_ + 1);
+  empty_[0] = empty_leaf_digest();
+  for (unsigned l = 1; l <= depth_; ++l) {
+    empty_[l] =
+        crypto::hash_pair(Domain::kMerkleNode, empty_[l - 1], empty_[l - 1]);
+  }
+  nodes_.resize(depth_ + 1);
+  root_ = empty_[depth_];
+}
+
+Digest MerkleStateTree::node(unsigned level, std::uint64_t index) const {
+  if (level == 0) {
+    auto it = leaves_.find(index);
+    return it == leaves_.end() ? empty_[0] : it->second;
+  }
+  auto it = nodes_[level].find(index);
+  return it == nodes_[level].end() ? empty_[level] : it->second;
+}
+
+void MerkleStateTree::update_path(std::uint64_t pos) {
+  std::uint64_t index = pos;
+  for (unsigned level = 1; level <= depth_; ++level) {
+    index >>= 1;
+    Digest left = node(level - 1, index * 2);
+    Digest right = node(level - 1, index * 2 + 1);
+    Digest parent = crypto::hash_pair(Domain::kMerkleNode, left, right);
+    if (parent == empty_[level]) {
+      nodes_[level].erase(index);
+    } else {
+      nodes_[level][index] = parent;
+    }
+  }
+  root_ = node(depth_, 0);
+}
+
+std::optional<Digest> MerkleStateTree::leaf(std::uint64_t pos) const {
+  auto it = leaves_.find(pos);
+  if (it == leaves_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MerkleStateTree::insert(std::uint64_t pos, const Digest& value) {
+  if (pos >= capacity()) {
+    throw std::out_of_range("MerkleStateTree::insert: position out of range");
+  }
+  if (leaves_.contains(pos)) return false;
+  leaves_[pos] = value;
+  update_path(pos);
+  return true;
+}
+
+bool MerkleStateTree::erase(std::uint64_t pos) {
+  if (pos >= capacity()) {
+    throw std::out_of_range("MerkleStateTree::erase: position out of range");
+  }
+  if (leaves_.erase(pos) == 0) return false;
+  update_path(pos);
+  return true;
+}
+
+MerkleProof MerkleStateTree::prove(std::uint64_t pos) const {
+  if (pos >= capacity()) {
+    throw std::out_of_range("MerkleStateTree::prove: position out of range");
+  }
+  MerkleProof proof;
+  proof.leaf_index = pos;
+  std::uint64_t index = pos;
+  for (unsigned level = 0; level < depth_; ++level) {
+    proof.siblings.push_back(node(level, index ^ 1));
+    index >>= 1;
+  }
+  return proof;
+}
+
+bool MerkleStateTree::verify(const Digest& root, const Digest& value,
+                             const MerkleProof& proof) {
+  return MerkleTree::root_from_proof(value, proof) == root;
+}
+
+bool MerkleStateTree::verify_empty(const Digest& root,
+                                   const MerkleProof& proof) {
+  return MerkleTree::root_from_proof(empty_leaf_digest(), proof) == root;
+}
+
+std::vector<std::uint64_t> MerkleStateTree::occupied_positions() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(leaves_.size());
+  for (const auto& [pos, _] : leaves_) out.push_back(pos);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace zendoo::merkle

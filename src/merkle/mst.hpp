@@ -1,0 +1,112 @@
+// Merkle State Tree (paper §5.2, Fig. 9) and mst_delta (Appendix A).
+//
+// A fixed-depth sparse Merkle tree whose 2^depth leaves are UTXO slots:
+// either "occupied" (holding the digest of an unspent output) or "empty".
+// Sparse representation with precomputed empty-subtree hashes keeps
+// set/clear/root at O(depth) regardless of capacity, so depths of 32+ are
+// practical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "merkle/mht.hpp"
+
+namespace zendoo::merkle {
+
+/// Bit vector over MST leaves: bit i is 1 iff leaf i was modified during
+/// the tracked period (paper §5.5.3.1, Appendix A).
+class MstDelta {
+ public:
+  MstDelta() = default;
+  explicit MstDelta(unsigned depth)
+      : depth_(depth), bits_(((std::size_t{1} << depth) + 63) >> 6, 0) {}
+
+  [[nodiscard]] unsigned depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t size() const { return std::uint64_t{1} << depth_; }
+
+  void set(std::uint64_t i) { bits_[i >> 6] |= 1ULL << (i & 63); }
+  [[nodiscard]] bool get(std::uint64_t i) const {
+    return (bits_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Union: marks every leaf modified in either delta. Depths must match.
+  void merge(const MstDelta& other);
+
+  [[nodiscard]] std::uint64_t popcount() const;
+
+  /// Digest of the bit vector (committed inside withdrawal certificates).
+  [[nodiscard]] Digest hash() const;
+
+  friend bool operator==(const MstDelta&, const MstDelta&) = default;
+
+ private:
+  unsigned depth_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Sparse fixed-depth Merkle State Tree.
+///
+/// The tree is mutable: occupying or clearing a slot updates the O(depth)
+/// path to the root. Membership (and emptiness) proofs are standard Merkle
+/// proofs against the current root.
+class MerkleStateTree {
+ public:
+  explicit MerkleStateTree(unsigned depth);
+
+  [[nodiscard]] unsigned depth() const { return depth_; }
+  [[nodiscard]] std::uint64_t capacity() const {
+    return std::uint64_t{1} << depth_;
+  }
+  [[nodiscard]] std::uint64_t occupied_count() const { return leaves_.size(); }
+
+  [[nodiscard]] const Digest& root() const { return root_; }
+
+  /// True if slot `pos` currently holds a value.
+  [[nodiscard]] bool occupied(std::uint64_t pos) const {
+    return leaves_.contains(pos);
+  }
+
+  /// Digest stored at `pos`, if occupied.
+  [[nodiscard]] std::optional<Digest> leaf(std::uint64_t pos) const;
+
+  /// Occupy slot `pos` with `value`. Fails (returns false) if occupied.
+  bool insert(std::uint64_t pos, const Digest& value);
+
+  /// Clear slot `pos`. Fails (returns false) if it was empty.
+  bool erase(std::uint64_t pos);
+
+  /// Merkle proof for slot `pos` against the current root; works for both
+  /// occupied and empty slots (an empty slot proves the empty-leaf digest).
+  [[nodiscard]] MerkleProof prove(std::uint64_t pos) const;
+
+  /// Digest a leaf proves to when the slot is empty.
+  static Digest empty_leaf_digest();
+
+  /// Verify a membership proof for `value` at proof.leaf_index.
+  static bool verify(const Digest& root, const Digest& value,
+                     const MerkleProof& proof);
+
+  /// Verify that a slot is empty under `root`.
+  static bool verify_empty(const Digest& root, const MerkleProof& proof);
+
+  /// The set of occupied positions (ordered), e.g. for state enumeration.
+  [[nodiscard]] std::vector<std::uint64_t> occupied_positions() const;
+
+ private:
+  [[nodiscard]] Digest node(unsigned level, std::uint64_t index) const;
+  void update_path(std::uint64_t pos);
+
+  unsigned depth_;
+  // Precomputed hash of an all-empty subtree per level; [0] = empty leaf.
+  std::vector<Digest> empty_;
+  // level -> index -> digest, only for nodes on occupied paths.
+  std::vector<std::unordered_map<std::uint64_t, Digest>> nodes_;
+  std::unordered_map<std::uint64_t, Digest> leaves_;
+  Digest root_;
+};
+
+}  // namespace zendoo::merkle

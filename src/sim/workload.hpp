@@ -1,0 +1,74 @@
+// Workload generation helpers shared by the examples and benchmarks:
+// deterministic key populations and synthetic payment traffic over a Latus
+// sidechain. All generation is seeded, so every run is replayable.
+#pragma once
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "crypto/rng.hpp"
+
+namespace zendoo::sim {
+
+/// `n` deterministic keypairs derived from `seed`.
+inline std::vector<crypto::KeyPair> make_keys(std::size_t n,
+                                              std::uint64_t seed) {
+  std::vector<crypto::KeyPair> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(crypto::KeyPair::from_seed(
+        crypto::Hasher(crypto::Domain::kGeneric)
+            .write_str("sim-user")
+            .write_u64(seed)
+            .write_u64(i)
+            .finalize()));
+  }
+  return keys;
+}
+
+/// Queue one forward transfer per user into the engine's mempool (funding
+/// round for a sidechain). Returns the number queued (limited by miner
+/// funds).
+inline std::size_t fund_users(core::Engine& engine,
+                              const core::SidechainId& id,
+                              const std::vector<crypto::KeyPair>& users,
+                              mainchain::Amount amount_each) {
+  // One transaction carrying all transfers: independent wallet-built
+  // transactions would contend for the same UTXOs within a block.
+  std::vector<mainchain::Wallet::FtSpec> specs;
+  specs.reserve(users.size());
+  for (const auto& user : users) {
+    specs.push_back({{user.address(), user.address()}, amount_each});
+  }
+  auto tx = engine.miner_wallet().forward_transfer_many(engine.mc().state(),
+                                                        id, specs);
+  if (!tx) return 0;
+  engine.mempool().transactions.push_back(std::move(*tx));
+  return users.size();
+}
+
+/// Submit one random self-contained payment per funded user: each user
+/// spends one of their UTXOs to a randomly chosen receiver (change to
+/// self). Returns the number of payments submitted.
+inline std::size_t random_payment_round(latus::LatusNode& node,
+                                        const std::vector<crypto::KeyPair>& users,
+                                        crypto::Rng& rng) {
+  std::size_t submitted = 0;
+  for (const auto& user : users) {
+    auto coins = node.state().utxos_of(user.address());
+    if (coins.empty()) continue;
+    const latus::Utxo& coin = coins.front();
+    if (coin.amount < 2) continue;
+    const auto& receiver = users[rng.next_below(users.size())];
+    mainchain::Amount pay = 1 + rng.next_below(coin.amount - 1);
+    std::vector<latus::OutputSpec> outs{{receiver.address(), pay}};
+    if (coin.amount > pay) {
+      outs.push_back({user.address(), coin.amount - pay});
+    }
+    node.submit_payment(latus::build_payment({coin}, user, outs));
+    ++submitted;
+  }
+  return submitted;
+}
+
+}  // namespace zendoo::sim

@@ -1,0 +1,108 @@
+// Recursive SNARK composition for state-transition systems
+// (paper §2.2, Defs 2.4 & 2.5, Figs. 10 & 11).
+//
+// A TransitionProofSystem is bootstrapped from a transition checker — the
+// application-defined `update` relation of Def 2.4 — and yields:
+//
+//   prove_base(s_i, s_i+1, t)          Base SNARK: ∃ t, s_i+1 = update(t, s_i)
+//   prove_merge(s_i, s_j, s_k, π1, π2) Merge SNARK: both child proofs valid
+//                                      and chained through s_k
+//   verify(s_i, s_j, π)                unified verifier for either kind
+//
+// Merge.Prove runs the verifier on both children before emitting the parent
+// proof, mirroring a recursive circuit embedding the inner verifier. The
+// helper prove_chain() builds the balanced merge tree of Figs. 10/11 over a
+// whole sequence of transitions.
+#pragma once
+
+#include <any>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "snark/snark.hpp"
+
+namespace zendoo::snark {
+
+/// State snapshots are digests (the paper: s_i = H(state_i)).
+using StateDigest = Digest;
+
+/// The `update` relation of Def 2.4, as a checker: true iff applying the
+/// transition (type-erased in `t`) to the state committed by `before`
+/// yields the state committed by `after`.
+using TransitionChecker = std::function<bool(
+    const StateDigest& before, const StateDigest& after, const std::any& t)>;
+
+/// A transition paired with the states it connects — the unit consumed by
+/// prove_chain when building the Fig. 10/11 merge trees.
+struct TransitionStep {
+  StateDigest before;
+  StateDigest after;
+  std::any transition;
+};
+
+/// Statistics of one recursive proving run (exposed so the benches can
+/// report the Fig. 10/11 cost profile).
+struct RecursionStats {
+  std::size_t base_proofs = 0;
+  std::size_t merge_proofs = 0;
+  std::size_t depth = 0;
+};
+
+class TransitionProofSystem {
+ public:
+  /// Bootstraps (Setup of Def 2.5) a Base/Merge pair for `checker`.
+  TransitionProofSystem(TransitionChecker checker, std::string label);
+
+  /// πBase ← Prove(pkBase, (s_i, s_i+1), (t)). Throws std::invalid_argument
+  /// if t is not a valid transition between the states (the prover cannot
+  /// produce a proof of a false statement).
+  [[nodiscard]] Proof prove_base(const StateDigest& before,
+                                 const StateDigest& after,
+                                 const std::any& transition) const;
+
+  /// πMerge ← Prove(pkMerge, (s_i, s_j), (s_k, π1, π2)). Verifies both
+  /// children (π1: s_i→s_k, π2: s_k→s_j); throws if either is invalid.
+  [[nodiscard]] Proof prove_merge(const StateDigest& before,
+                                  const StateDigest& after,
+                                  const StateDigest& mid, const Proof& left,
+                                  const Proof& right) const;
+
+  /// true/false ← Verify(vk, (s_i, s_j), π). Constant-time in the length
+  /// of the proven transition chain.
+  [[nodiscard]] bool verify(const StateDigest& before,
+                            const StateDigest& after,
+                            const Proof& proof) const;
+
+  /// Builds the full recursion of Figs. 10 & 11: one Base proof per step,
+  /// then a balanced binary Merge tree, returning the single root proof
+  /// attesting steps.front().before → steps.back().after.
+  /// Steps must be non-empty and contiguous (each after == next before).
+  [[nodiscard]] Proof prove_chain(const std::vector<TransitionStep>& steps,
+                                  RecursionStats* stats = nullptr) const;
+
+  /// Merge an already-proven contiguous span of (state range, proof) pairs
+  /// into one proof — the Fig. 11 epoch-level composition over per-block
+  /// proofs.
+  struct ProvenSpan {
+    StateDigest before;
+    StateDigest after;
+    Proof proof;
+  };
+  [[nodiscard]] Proof merge_spans(const std::vector<ProvenSpan>& spans,
+                                  RecursionStats* stats = nullptr) const;
+
+  /// Verification key for external verifiers (e.g. embedded in a
+  /// withdrawal-certificate circuit).
+  [[nodiscard]] const VerifyingKey& vk() const { return vk_; }
+
+ private:
+  [[nodiscard]] Proof emit(const StateDigest& before,
+                           const StateDigest& after) const;
+
+  TransitionChecker checker_;
+  ProvingKey pk_;
+  VerifyingKey vk_;
+};
+
+}  // namespace zendoo::snark

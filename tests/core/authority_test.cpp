@@ -1,0 +1,193 @@
+// AuthoritySidechain tests: a centralized, account-based sidechain running
+// the same CCTP the Latus chain uses — the universality claim of §4.1.2.
+#include "core/authority_sidechain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mainchain/miner.hpp"
+
+namespace zendoo::core {
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::hash_str;
+using crypto::KeyPair;
+
+class AuthorityTest : public ::testing::Test {
+ protected:
+  AuthorityTest()
+      : miner_key_(KeyPair::from_seed(hash_str(Domain::kGeneric, "m"))),
+        operator_key_(KeyPair::from_seed(hash_str(Domain::kGeneric, "op"))),
+        user_(KeyPair::from_seed(hash_str(Domain::kGeneric, "user"))),
+        chain_(mainchain::ChainParams{}),
+        miner_(chain_, miner_key_.address()),
+        wallet_(miner_key_),
+        sc_(hash_str(Domain::kGeneric, "authority-sc"), /*start=*/2,
+            /*epoch_len=*/4, /*submit_len=*/2, operator_key_) {
+    mainchain::Mempool pool;
+    pool.sidechain_creations.push_back(sc_.mc_params());
+    mine_and_observe(pool);
+  }
+
+  mainchain::Block mine_and_observe(const mainchain::Mempool& pool) {
+    mainchain::Block out;
+    auto r = miner_.mine_and_submit(pool, &out);
+    if (!r.accepted) throw std::logic_error(r.error);
+    std::string err = sc_.observe_mc_block(out);
+    if (!err.empty()) throw std::logic_error(err);
+    return out;
+  }
+
+  void run_to_height(std::uint64_t h, bool submit_certs = true) {
+    while (chain_.height() < h) {
+      mainchain::Mempool pool;
+      if (submit_certs) {
+        while (auto cert = sc_.build_certificate(chain_.state())) {
+          pool.certificates.push_back(std::move(*cert));
+        }
+      }
+      mine_and_observe(pool);
+    }
+  }
+
+  KeyPair miner_key_, operator_key_, user_;
+  mainchain::Blockchain chain_;
+  mainchain::Miner miner_;
+  mainchain::Wallet wallet_;
+  AuthoritySidechain sc_;
+};
+
+TEST_F(AuthorityTest, ForwardTransferCreditsAccount) {
+  mainchain::Mempool pool;
+  pool.transactions.push_back(*wallet_.forward_transfer(
+      chain_.state(), sc_.mc_params().ledger_id, {user_.address()}, 9'000));
+  mine_and_observe(pool);
+  EXPECT_EQ(sc_.balance_of(user_.address()), 9'000u);
+  EXPECT_EQ(sc_.total_supply(), 9'000u);
+}
+
+TEST_F(AuthorityTest, MalformedMetadataRefunds) {
+  mainchain::Mempool pool;
+  pool.transactions.push_back(*wallet_.forward_transfer(
+      chain_.state(), sc_.mc_params().ledger_id,
+      {user_.address(), user_.address(), user_.address()}, 5'000));
+  mine_and_observe(pool);
+  EXPECT_EQ(sc_.total_supply(), 0u);
+  run_to_height(8);  // epoch 0 cert finalized at window close
+  EXPECT_EQ(chain_.state().balance_of(user_.address()), 5'000u);
+}
+
+TEST_F(AuthorityTest, LedgerTransfers) {
+  mainchain::Mempool pool;
+  pool.transactions.push_back(*wallet_.forward_transfer(
+      chain_.state(), sc_.mc_params().ledger_id, {user_.address()}, 1'000));
+  mine_and_observe(pool);
+  auto other = hash_str(Domain::kAddress, "other");
+  EXPECT_EQ(sc_.transfer(user_.address(), other, 400), "");
+  EXPECT_EQ(sc_.balance_of(other), 400u);
+  EXPECT_NE(sc_.transfer(user_.address(), other, 10'000), "");
+}
+
+TEST_F(AuthorityTest, WithdrawalEndToEnd) {
+  mainchain::Mempool pool;
+  pool.transactions.push_back(*wallet_.forward_transfer(
+      chain_.state(), sc_.mc_params().ledger_id, {user_.address()}, 8'000));
+  mine_and_observe(pool);
+  ASSERT_EQ(sc_.request_withdrawal(user_.address(), user_.address(), 3'000),
+            "");
+  EXPECT_EQ(sc_.balance_of(user_.address()), 5'000u);
+  run_to_height(8);  // epoch 0: heights 2..5; window 6..7; finalize at 8
+  EXPECT_EQ(chain_.state().balance_of(user_.address()), 3'000u);
+  const auto* sc = chain_.state().find_sidechain(sc_.mc_params().ledger_id);
+  EXPECT_FALSE(sc->ceased);
+  EXPECT_EQ(sc->balance, 5'000u);
+}
+
+TEST_F(AuthorityTest, HeartbeatKeepsSidechainAlive) {
+  run_to_height(18);
+  const auto* sc = chain_.state().find_sidechain(sc_.mc_params().ledger_id);
+  EXPECT_FALSE(sc->ceased);
+  EXPECT_GE(*sc->last_finalized_epoch, 2u);
+}
+
+TEST_F(AuthorityTest, BtrsAreDisabled) {
+  // btr_vk is null: the MC refuses BTRs for this sidechain outright.
+  mainchain::BtrRequest btr;
+  btr.ledger_id = sc_.mc_params().ledger_id;
+  btr.receiver = user_.address();
+  btr.amount = 1;
+  btr.nullifier = hash_str(Domain::kNullifier, "n");
+  mainchain::Mempool pool;
+  pool.btrs.push_back(btr);
+  mainchain::Block b;
+  auto r = miner_.mine_and_submit(pool, &b);
+  ASSERT_TRUE(r.accepted);
+  EXPECT_TRUE(b.btrs.empty());
+  ASSERT_EQ(sc_.observe_mc_block(b), "");
+}
+
+TEST_F(AuthorityTest, ExitReceiptRedeemsAfterCease) {
+  mainchain::Mempool pool;
+  pool.transactions.push_back(*wallet_.forward_transfer(
+      chain_.state(), sc_.mc_params().ledger_id, {user_.address()}, 4'000));
+  mine_and_observe(pool);
+  run_to_height(8);  // epoch 0 certified & finalized
+  // User obtains an exit receipt while the operator is still alive.
+  auto receipt = sc_.issue_exit_receipt(user_.address(), user_.address(),
+                                        4'000);
+  ASSERT_TRUE(receipt.has_value());
+  EXPECT_EQ(sc_.balance_of(user_.address()), 0u);
+  // Operator disappears: no more certificates; the sidechain ceases.
+  run_to_height(12, /*submit_certs=*/false);
+  ASSERT_TRUE(
+      chain_.state().find_sidechain(sc_.mc_params().ledger_id)->ceased);
+  // Redeem the receipt as a CSW.
+  auto csw = sc_.redeem_receipt(*receipt, chain_.state());
+  mainchain::Mempool cpool;
+  cpool.csws.push_back(csw);
+  mainchain::Block b;
+  auto r = miner_.mine_and_submit(cpool, &b);
+  ASSERT_TRUE(r.accepted) << r.error;
+  ASSERT_EQ(b.csws.size(), 1u);
+  EXPECT_EQ(chain_.state().balance_of(user_.address()), 4'000u);
+  // Replay blocked by nullifier.
+  mainchain::Mempool again;
+  again.csws.push_back(csw);
+  mainchain::Block b2;
+  miner_.mine_and_submit(again, &b2);
+  EXPECT_TRUE(b2.csws.empty());
+}
+
+TEST_F(AuthorityTest, ReceiptRequiresFunds) {
+  EXPECT_FALSE(
+      sc_.issue_exit_receipt(user_.address(), user_.address(), 1).has_value());
+}
+
+TEST_F(AuthorityTest, ForeignCertificateRejected) {
+  // A certificate signed by a different "authority" must not verify.
+  auto rogue = KeyPair::from_seed(hash_str(Domain::kGeneric, "rogue"));
+  AuthoritySidechain rogue_sc(sc_.mc_params().ledger_id, 2, 4, 2, rogue);
+  // Let the legit sidechain observe blocks up to the cert window.
+  run_to_height(5, /*submit_certs=*/false);
+  // Rogue operator tries to certify epoch 0 of the registered sidechain:
+  // its circuit key differs, so the proof key registered on the MC
+  // rejects it.
+  mainchain::WithdrawalCertificate cert;
+  cert.ledger_id = sc_.mc_params().ledger_id;
+  cert.epoch_id = 0;
+  cert.quality = 99;
+  auto [prev, last] =
+      chain_.state().epoch_boundary_hashes(sc_.mc_params(), 0);
+  auto st = mainchain::wcert_statement_for(cert, prev, last);
+  // Sign with the rogue key and wrap in the rogue proving system.
+  cert.proof = snark::Proof{hash_str(Domain::kGeneric, "forged")};
+  mainchain::Mempool pool;
+  pool.certificates.push_back(cert);
+  mainchain::Block b;
+  miner_.mine_and_submit(pool, &b);
+  EXPECT_TRUE(b.certificates.empty());
+}
+
+}  // namespace
+}  // namespace zendoo::core

@@ -1,0 +1,76 @@
+#include "core/certifier_baseline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zendoo::core::baseline {
+namespace {
+
+using crypto::Domain;
+using crypto::hash_str;
+
+mainchain::WithdrawalCertificate sample_cert() {
+  mainchain::WithdrawalCertificate cert;
+  cert.ledger_id = hash_str(Domain::kGeneric, "sc");
+  cert.epoch_id = 3;
+  cert.quality = 42;
+  cert.bt_list.push_back({hash_str(Domain::kAddress, "r"), 100});
+  return cert;
+}
+
+TEST(CertifierBaseline, EndorseVerifyRoundTrip) {
+  CertifierScheme scheme(7, 5, /*seed=*/1);
+  auto cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto sigs = scheme.endorse(cert, prev, last);
+  EXPECT_EQ(sigs.size(), 5u);
+  EXPECT_TRUE(scheme.verify(cert, prev, last, sigs));
+}
+
+TEST(CertifierBaseline, BelowThresholdRejected) {
+  CertifierScheme scheme(7, 5, 1);
+  auto cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto sigs = scheme.endorse(cert, prev, last);
+  sigs.pop_back();
+  EXPECT_FALSE(scheme.verify(cert, prev, last, sigs));
+}
+
+TEST(CertifierBaseline, DuplicateSignerRejected) {
+  CertifierScheme scheme(7, 2, 1);
+  auto cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto sigs = scheme.endorse(cert, prev, last);
+  sigs[1] = sigs[0];  // same certifier twice
+  EXPECT_FALSE(scheme.verify(cert, prev, last, sigs));
+}
+
+TEST(CertifierBaseline, TamperedCertificateRejected) {
+  CertifierScheme scheme(5, 3, 1);
+  auto cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto sigs = scheme.endorse(cert, prev, last);
+  cert.quality += 1;
+  EXPECT_FALSE(scheme.verify(cert, prev, last, sigs));
+}
+
+TEST(CertifierBaseline, UnknownCertifierIndexRejected) {
+  CertifierScheme scheme(5, 2, 1);
+  auto cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto sigs = scheme.endorse(cert, prev, last);
+  sigs[0].certifier = 99;
+  EXPECT_FALSE(scheme.verify(cert, prev, last, sigs));
+}
+
+TEST(CertifierBaseline, BadParamsRejected) {
+  EXPECT_THROW(CertifierScheme(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(CertifierScheme(3, 4, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace zendoo::core::baseline

@@ -1,0 +1,178 @@
+#include "crypto/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::crypto {
+namespace {
+
+TEST(Fp, AddSubInverse) {
+  Fp a = Fp::from(u256{123456789});
+  Fp b = Fp::from(u256{987654321});
+  EXPECT_EQ(a.add(b).sub(b), a);
+  EXPECT_EQ(a.sub(b).add(b), a);
+}
+
+TEST(Fp, MulByInverseIsOne) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) {
+    Fp a = Fp::from(rng.next_u256());
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a.mul(a.inv()), Fp::one());
+  }
+}
+
+TEST(Fp, NegIsAdditiveInverse) {
+  Fp a = Fp::from(u256{42});
+  EXPECT_TRUE(a.add(a.neg()).is_zero());
+  EXPECT_TRUE(Fp::zero().neg().is_zero());
+}
+
+TEST(Fp, InvZeroThrows) {
+  EXPECT_THROW((void)Fp::zero().inv(), std::invalid_argument);
+}
+
+TEST(Fp, FastReductionMatchesGenericMulmod) {
+  Rng rng(37);
+  for (int i = 0; i < 20; ++i) {
+    u256 a = rng.next_u256().mod(secp256k1::kP);
+    u256 b = rng.next_u256().mod(secp256k1::kP);
+    EXPECT_EQ(Fp{a}.mul(Fp{b}).v, u256::mulmod(a, b, secp256k1::kP));
+  }
+}
+
+TEST(ECPoint, GeneratorOnCurve) {
+  EXPECT_TRUE(ECPoint::generator().on_curve());
+}
+
+TEST(ECPoint, GeneratorTimesOrderIsInfinity) {
+  ECPoint g = ECPoint::generator();
+  // n*G = infinity; implemented mod n so pass n-1 and add once.
+  ECPoint n_minus_1 = g.mul(secp256k1::kN - u256{1});
+  ECPoint sum = n_minus_1.add(g);
+  EXPECT_TRUE(sum.is_infinity());
+}
+
+TEST(ECPoint, DoubleEqualsAddSelf) {
+  ECPoint g = ECPoint::generator();
+  EXPECT_TRUE(g.dbl().equals(g.add(g)));
+  EXPECT_TRUE(g.dbl().on_curve());
+}
+
+TEST(ECPoint, AdditionCommutes) {
+  ECPoint g = ECPoint::generator();
+  ECPoint a = g.mul(u256{5});
+  ECPoint b = g.mul(u256{11});
+  EXPECT_TRUE(a.add(b).equals(b.add(a)));
+}
+
+TEST(ECPoint, ScalarMulDistributes) {
+  // (a+b)G == aG + bG
+  ECPoint g = ECPoint::generator();
+  u256 a{123456};
+  u256 b{654321};
+  ECPoint lhs = g.mul(a + b);
+  ECPoint rhs = g.mul(a).add(g.mul(b));
+  EXPECT_TRUE(lhs.equals(rhs));
+}
+
+TEST(ECPoint, MulByZeroIsInfinity) {
+  EXPECT_TRUE(ECPoint::generator().mul(u256{}).is_infinity());
+}
+
+TEST(ECPoint, InfinityIsIdentity) {
+  ECPoint g = ECPoint::generator();
+  EXPECT_TRUE(g.add(ECPoint::infinity()).equals(g));
+  EXPECT_TRUE(ECPoint::infinity().add(g).equals(g));
+}
+
+TEST(ECPoint, AddInverseGivesInfinity) {
+  ECPoint g = ECPoint::generator();
+  auto [x, y] = g.to_affine();
+  ECPoint neg = ECPoint::from_affine(x, (secp256k1::kP - y));
+  EXPECT_TRUE(g.add(neg).is_infinity());
+}
+
+TEST(ECPoint, AffineRoundTrip) {
+  ECPoint p = ECPoint::generator().mul(u256{77});
+  auto [x, y] = p.to_affine();
+  EXPECT_TRUE(ECPoint::from_affine(x, y).equals(p));
+  EXPECT_THROW((void)ECPoint::infinity().to_affine(), std::invalid_argument);
+}
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  KeyPair kp = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  Digest msg = hash_str(Domain::kGeneric, "pay bob 5 coins");
+  Signature sig = kp.sign(msg);
+  EXPECT_TRUE(verify_signature(kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, RejectsWrongMessage) {
+  KeyPair kp = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  Signature sig = kp.sign(hash_str(Domain::kGeneric, "msg1"));
+  EXPECT_FALSE(verify_signature(kp.public_key(),
+                                hash_str(Domain::kGeneric, "msg2"), sig));
+}
+
+TEST(Schnorr, RejectsWrongKey) {
+  KeyPair alice = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  KeyPair bob = KeyPair::from_seed(hash_str(Domain::kGeneric, "bob"));
+  Digest msg = hash_str(Domain::kGeneric, "msg");
+  Signature sig = alice.sign(msg);
+  EXPECT_FALSE(verify_signature(bob.public_key(), msg, sig));
+}
+
+TEST(Schnorr, RejectsTamperedSignature) {
+  KeyPair kp = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  Digest msg = hash_str(Domain::kGeneric, "msg");
+  Signature sig = kp.sign(msg);
+  Signature bad = sig;
+  bad.s = u256::addmod(bad.s, u256{1}, secp256k1::kN);
+  EXPECT_FALSE(verify_signature(kp.public_key(), msg, bad));
+  Signature bad2 = sig;
+  bad2.rx = u256::addmod(bad2.rx, u256{1}, secp256k1::kP);
+  EXPECT_FALSE(verify_signature(kp.public_key(), msg, bad2));
+}
+
+TEST(Schnorr, RejectsOutOfRangeS) {
+  KeyPair kp = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  Digest msg = hash_str(Domain::kGeneric, "msg");
+  Signature sig = kp.sign(msg);
+  sig.s = secp256k1::kN;  // == n, invalid
+  EXPECT_FALSE(verify_signature(kp.public_key(), msg, sig));
+  sig.s = u256{};
+  EXPECT_FALSE(verify_signature(kp.public_key(), msg, sig));
+}
+
+TEST(Schnorr, DeterministicSignatures) {
+  KeyPair kp = KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"));
+  Digest msg = hash_str(Domain::kGeneric, "msg");
+  EXPECT_EQ(kp.sign(msg), kp.sign(msg));
+}
+
+TEST(Schnorr, DistinctSeedsDistinctAddresses) {
+  KeyPair a = KeyPair::from_seed(hash_str(Domain::kGeneric, "a"));
+  KeyPair b = KeyPair::from_seed(hash_str(Domain::kGeneric, "b"));
+  EXPECT_NE(a.address(), b.address());
+  EXPECT_EQ(a.address(), address_of(a.public_key()));
+}
+
+class SchnorrSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchnorrSweep, ManyKeysRoundTrip) {
+  int i = GetParam();
+  KeyPair kp = KeyPair::from_seed(
+      Hasher(Domain::kGeneric).write_u64(static_cast<std::uint64_t>(i)).finalize());
+  EXPECT_TRUE(
+      ECPoint::from_affine(kp.public_key().first, kp.public_key().second)
+          .on_curve());
+  Digest msg =
+      Hasher(Domain::kGeneric).write_u64(static_cast<std::uint64_t>(i * 31)).finalize();
+  EXPECT_TRUE(verify_signature(kp.public_key(), msg, kp.sign(msg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, SchnorrSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace zendoo::crypto

@@ -1,0 +1,111 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/hash.hpp"
+
+namespace zendoo::crypto {
+namespace {
+
+std::string hex_of(const std::array<std::uint8_t, 32>& d) {
+  Digest dd;
+  dd.bytes = d;
+  return dd.to_hex();
+}
+
+// NIST / well-known test vectors.
+TEST(Sha256, EmptyString) {
+  Sha256 h;
+  EXPECT_EQ(hex_of(h.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  Sha256 h;
+  h.update("abc");
+  EXPECT_EQ(hex_of(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  Sha256 h;
+  h.update("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(hex_of(h.finalize()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex_of(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 one;
+  one.update(msg);
+  auto d1 = one.finalize();
+  // Feed byte-by-byte.
+  Sha256 two;
+  for (char c : msg) {
+    two.update(std::string_view(&c, 1));
+  }
+  EXPECT_EQ(hex_of(two.finalize()), hex_of(d1));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding around the 55/56/63/64-byte boundaries.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    std::string msg(len, 'x');
+    Sha256 a;
+    a.update(msg);
+    Sha256 b;
+    b.update(msg.substr(0, len / 2));
+    b.update(msg.substr(len / 2));
+    EXPECT_EQ(hex_of(a.finalize()), hex_of(b.finalize())) << "len=" << len;
+  }
+}
+
+TEST(HashDomain, DomainsProduceDistinctDigests) {
+  Digest a = hash_str(Domain::kMerkleLeaf, "payload");
+  Digest b = hash_str(Domain::kMerkleNode, "payload");
+  Digest c = hash_str(Domain::kTxId, "payload");
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(HashDomain, LengthPrefixPreventsConcatenationCollision) {
+  // ("ab","c") and ("a","bc") must hash differently.
+  Digest d1 =
+      Hasher(Domain::kGeneric).write_str("ab").write_str("c").finalize();
+  Digest d2 =
+      Hasher(Domain::kGeneric).write_str("a").write_str("bc").finalize();
+  EXPECT_NE(d1, d2);
+}
+
+TEST(HashDomain, DigestHexRoundTrip) {
+  Digest d = hash_str(Domain::kGeneric, "round trip me");
+  EXPECT_EQ(Digest::from_hex(d.to_hex()), d);
+  EXPECT_THROW(Digest::from_hex("abcd"), std::invalid_argument);
+}
+
+TEST(HashDomain, U256RoundTripThroughDigest) {
+  u256 v = u256::from_hex("deadbeef");
+  Digest d = Digest::from_u256(v);
+  EXPECT_EQ(d.as_u256(), v);
+}
+
+TEST(HashDomain, ZeroDigestDetected) {
+  Digest d;
+  EXPECT_TRUE(d.is_zero());
+  d.bytes[31] = 1;
+  EXPECT_FALSE(d.is_zero());
+}
+
+}  // namespace
+}  // namespace zendoo::crypto

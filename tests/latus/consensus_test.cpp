@@ -1,0 +1,124 @@
+#include "latus/consensus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::latus {
+namespace {
+
+using crypto::hash_str;
+
+Address addr(const std::string& s) { return hash_str(Domain::kAddress, s); }
+
+TEST(StakeDistributionTest, TotalsAndOwnership) {
+  StakeDistribution d({{addr("a"), 10}, {addr("b"), 30}, {addr("c"), 60}});
+  EXPECT_EQ(d.total(), 100u);
+  // Each coin index maps to exactly one owner; ranges partition by stake.
+  std::unordered_map<Digest, Amount, crypto::DigestHash> counts;
+  for (Amount coin = 0; coin < 100; ++coin) {
+    counts[d.owner_of_coin(coin)] += 1;
+  }
+  EXPECT_EQ(counts[addr("a")], 10u);
+  EXPECT_EQ(counts[addr("b")], 30u);
+  EXPECT_EQ(counts[addr("c")], 60u);
+}
+
+TEST(StakeDistributionTest, ZeroStakeholdersDropped) {
+  StakeDistribution d({{addr("a"), 0}, {addr("b"), 5}});
+  EXPECT_EQ(d.entries().size(), 1u);
+  EXPECT_EQ(d.total(), 5u);
+}
+
+TEST(StakeDistributionTest, EmptyAndBounds) {
+  StakeDistribution d;
+  EXPECT_TRUE(d.empty());
+  StakeDistribution d2({{addr("a"), 3}});
+  EXPECT_THROW((void)d2.owner_of_coin(3), std::out_of_range);
+}
+
+TEST(SlotLeader, Deterministic) {
+  StakeDistribution d({{addr("a"), 50}, {addr("b"), 50}});
+  Digest rand = hash_str(Domain::kEpochRandomness, "r");
+  EXPECT_EQ(select_slot_leader(d, rand, 1, 2),
+            select_slot_leader(d, rand, 1, 2));
+  auto sched1 = slot_schedule(d, rand, 1, 32);
+  auto sched2 = slot_schedule(d, rand, 1, 32);
+  EXPECT_EQ(sched1, sched2);
+}
+
+TEST(SlotLeader, SensitiveToRandomnessEpochAndSlot) {
+  StakeDistribution d({{addr("a"), 1}, {addr("b"), 1}, {addr("c"), 1},
+                       {addr("d"), 1}});
+  Digest r1 = hash_str(Domain::kEpochRandomness, "r1");
+  Digest r2 = hash_str(Domain::kEpochRandomness, "r2");
+  auto s1 = slot_schedule(d, r1, 0, 64);
+  auto s2 = slot_schedule(d, r2, 0, 64);
+  auto s3 = slot_schedule(d, r1, 1, 64);
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+}
+
+TEST(SlotLeader, EmptyDistributionThrows) {
+  StakeDistribution d;
+  EXPECT_THROW(
+      (void)select_slot_leader(d, hash_str(Domain::kGeneric, "r"), 0, 0),
+      std::logic_error);
+}
+
+TEST(SlotLeader, FrequencyTracksStake) {
+  // Fig. 5 / §5.1: leader probability proportional to stake. 1:3 split
+  // over many slots must land near 25%/75%.
+  StakeDistribution d({{addr("small"), 25}, {addr("big"), 75}});
+  Digest rand = hash_str(Domain::kEpochRandomness, "freq");
+  std::size_t small_count = 0;
+  const std::size_t kSlots = 4000;
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    if (select_slot_leader(d, rand, 0, s) == addr("small")) ++small_count;
+  }
+  double fraction = static_cast<double>(small_count) / kSlots;
+  EXPECT_GT(fraction, 0.20);
+  EXPECT_LT(fraction, 0.30);
+}
+
+TEST(SlotLeader, SoleStakeholderAlwaysLeads) {
+  StakeDistribution d({{addr("only"), 42}});
+  Digest rand = hash_str(Domain::kEpochRandomness, "solo");
+  for (std::size_t s = 0; s < 50; ++s) {
+    EXPECT_EQ(select_slot_leader(d, rand, 0, s), addr("only"));
+  }
+}
+
+TEST(EpochRandomnessTest, DependsOnInputs) {
+  Digest b1 = hash_str(Domain::kScBlock, "b1");
+  Digest b2 = hash_str(Domain::kScBlock, "b2");
+  EXPECT_NE(epoch_randomness(b1, 3), epoch_randomness(b2, 3));
+  EXPECT_NE(epoch_randomness(b1, 3), epoch_randomness(b1, 4));
+  EXPECT_EQ(epoch_randomness(b1, 3), epoch_randomness(b1, 3));
+}
+
+class StakeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StakeSweep, LargeDistributionsSelectValidOwners) {
+  int n = GetParam();
+  crypto::Rng rng(static_cast<std::uint64_t>(n));
+  std::vector<std::pair<Address, Amount>> stakes;
+  for (int i = 0; i < n; ++i) {
+    stakes.emplace_back(rng.next_digest(), 1 + rng.next_below(1000));
+  }
+  StakeDistribution d(stakes);
+  std::unordered_set<Digest, crypto::DigestHash> valid;
+  for (const auto& [a, _] : d.entries()) valid.insert(a);
+  Digest rand = hash_str(Domain::kEpochRandomness, "sweep");
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    EXPECT_TRUE(valid.contains(select_slot_leader(d, rand, 0, s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StakeSweep,
+                         ::testing::Values(1, 2, 10, 100, 1000));
+
+}  // namespace
+}  // namespace zendoo::latus

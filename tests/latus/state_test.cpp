@@ -1,0 +1,175 @@
+#include "latus/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::latus {
+namespace {
+
+using crypto::hash_str;
+using crypto::KeyPair;
+using crypto::Rng;
+
+Utxo make_utxo(const std::string& owner, Amount amount,
+               const std::string& nonce_seed) {
+  return Utxo{hash_str(Domain::kAddress, owner), amount,
+              hash_str(Domain::kGeneric, nonce_seed)};
+}
+
+TEST(MstPosition, DeterministicAndStateIndependent) {
+  Utxo u = make_utxo("alice", 5, "n1");
+  EXPECT_EQ(mst_position(u, 12), mst_position(u, 12));
+  // Depends only on the nonce, not owner/amount (slot stability under
+  // metadata changes is not required by the paper, but nonce-only
+  // derivation makes the position manifestly state-independent).
+  Utxo v = u;
+  v.amount = 6;
+  EXPECT_EQ(mst_position(u, 12), mst_position(v, 12));
+  EXPECT_LT(mst_position(u, 4), 16u);
+}
+
+TEST(MstPosition, SpreadsAcrossSlots) {
+  Rng rng(3);
+  std::unordered_set<std::uint64_t> slots;
+  for (int i = 0; i < 100; ++i) {
+    Utxo u{Digest{}, 1, rng.next_digest()};
+    slots.insert(mst_position(u, 16));
+  }
+  // With 65536 slots and 100 nonces, collisions should be rare.
+  EXPECT_GT(slots.size(), 95u);
+}
+
+TEST(LatusStateTest, InsertRemoveRoundTrip) {
+  LatusState s(8);
+  Utxo u = make_utxo("alice", 10, "n1");
+  Digest empty_commit = s.commitment();
+  ASSERT_TRUE(s.insert_utxo(u));
+  EXPECT_TRUE(s.contains(u));
+  EXPECT_EQ(s.total_supply(), 10u);
+  EXPECT_NE(s.commitment(), empty_commit);
+  ASSERT_TRUE(s.remove_utxo(u));
+  EXPECT_FALSE(s.contains(u));
+  EXPECT_EQ(s.commitment(), empty_commit);
+}
+
+TEST(LatusStateTest, InsertCollisionFails) {
+  LatusState s(8);
+  Utxo u = make_utxo("alice", 10, "n1");
+  Utxo v = u;
+  v.amount = 20;  // same nonce -> same slot
+  ASSERT_TRUE(s.insert_utxo(u));
+  EXPECT_FALSE(s.insert_utxo(v));
+  EXPECT_EQ(s.total_supply(), 10u);
+}
+
+TEST(LatusStateTest, RemoveRequiresExactMatch) {
+  LatusState s(8);
+  Utxo u = make_utxo("alice", 10, "n1");
+  ASSERT_TRUE(s.insert_utxo(u));
+  Utxo wrong = u;
+  wrong.amount = 11;
+  EXPECT_FALSE(s.remove_utxo(wrong));
+  EXPECT_TRUE(s.contains(u));
+}
+
+TEST(LatusStateTest, CommitmentCoversBackwardTransfers) {
+  LatusState s(8);
+  Digest before = s.commitment();
+  s.push_backward_transfer({hash_str(Domain::kAddress, "mc-bob"), 7});
+  EXPECT_NE(s.commitment(), before);
+  EXPECT_EQ(s.backward_transfers().size(), 1u);
+}
+
+TEST(LatusStateTest, BtListRootMatchesCertificateRoot) {
+  LatusState s(8);
+  mainchain::BackwardTransfer bt{hash_str(Domain::kAddress, "mc-bob"), 7};
+  s.push_backward_transfer(bt);
+  mainchain::WithdrawalCertificate cert;
+  cert.bt_list = {bt};
+  EXPECT_EQ(s.bt_list_root(), cert.bt_list_root());
+}
+
+TEST(LatusStateTest, EpochResetClearsTransients) {
+  LatusState s(8);
+  Utxo u = make_utxo("alice", 10, "n1");
+  ASSERT_TRUE(s.insert_utxo(u));
+  s.push_backward_transfer({hash_str(Domain::kAddress, "bob"), 1});
+  EXPECT_EQ(s.delta().popcount(), 1u);
+  merkle::MstDelta epoch_delta = s.begin_withdrawal_epoch();
+  // The returned delta reflects the finished epoch.
+  EXPECT_EQ(epoch_delta.popcount(), 1u);
+  EXPECT_TRUE(epoch_delta.get(mst_position(u, 8)));
+  // Transients are reset; the MST is untouched.
+  EXPECT_TRUE(s.backward_transfers().empty());
+  EXPECT_EQ(s.delta().popcount(), 0u);
+  EXPECT_TRUE(s.contains(u));
+}
+
+TEST(LatusStateTest, DeltaTracksBothInsertAndRemove) {
+  LatusState s(8);
+  Utxo u = make_utxo("alice", 10, "n1");
+  ASSERT_TRUE(s.insert_utxo(u));
+  s.begin_withdrawal_epoch();
+  ASSERT_TRUE(s.remove_utxo(u));
+  EXPECT_TRUE(s.delta().get(mst_position(u, 8)));
+}
+
+TEST(LatusStateTest, BalancesAndStakeSnapshot) {
+  LatusState s(10);
+  ASSERT_TRUE(s.insert_utxo(make_utxo("alice", 10, "a1")));
+  ASSERT_TRUE(s.insert_utxo(make_utxo("alice", 5, "a2")));
+  ASSERT_TRUE(s.insert_utxo(make_utxo("bob", 7, "b1")));
+  EXPECT_EQ(s.balance_of(hash_str(Domain::kAddress, "alice")), 15u);
+  EXPECT_EQ(s.balance_of(hash_str(Domain::kAddress, "bob")), 7u);
+  EXPECT_EQ(s.utxos_of(hash_str(Domain::kAddress, "alice")).size(), 2u);
+  auto snapshot = s.stake_snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  Amount total = 0;
+  for (const auto& [_, amount] : snapshot) total += amount;
+  EXPECT_EQ(total, 22u);
+  EXPECT_EQ(s.total_supply(), 22u);
+}
+
+TEST(LatusStateTest, UtxoNullifierIsHashOfUtxo) {
+  Utxo u = make_utxo("alice", 10, "n1");
+  EXPECT_EQ(u.nullifier(),
+            crypto::Hasher(Domain::kNullifier).write(u.hash()).finalize());
+  Utxo v = u;
+  v.amount += 1;
+  EXPECT_NE(u.nullifier(), v.nullifier());
+}
+
+class StateChurn : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StateChurn, SupplyConservedUnderChurn) {
+  unsigned depth = GetParam();
+  LatusState s(depth);
+  Rng rng(depth);
+  std::vector<Utxo> live;
+  Amount supply = 0;
+  for (int step = 0; step < 150; ++step) {
+    if (live.empty() || rng.chance(3, 5)) {
+      Utxo u{rng.next_digest(), 1 + rng.next_below(1000),
+             rng.next_digest()};
+      if (s.insert_utxo(u)) {
+        live.push_back(u);
+        supply += u.amount;
+      }
+    } else {
+      std::size_t idx = rng.next_below(live.size());
+      ASSERT_TRUE(s.remove_utxo(live[idx]));
+      supply -= live[idx].amount;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(s.total_supply(), supply);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, StateChurn,
+                         ::testing::Values(8u, 12u, 16u, 20u));
+
+}  // namespace
+}  // namespace zendoo::latus

@@ -1,0 +1,201 @@
+// Wire-codec tests: round-trip identity (checked by re-hashing, which
+// covers every field), strictness against truncation/trailing bytes, and
+// hostile-count handling.
+#include "mainchain/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::mainchain::codec {
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::hash_str;
+using crypto::Rng;
+
+Transaction random_tx(Rng& rng, bool coinbase = false) {
+  Transaction tx;
+  tx.is_coinbase = coinbase;
+  tx.coinbase_height = coinbase ? rng.next_below(100) : 0;
+  if (!coinbase) {
+    for (std::uint64_t i = 0; i < 1 + rng.next_below(3); ++i) {
+      TxInput in;
+      in.prevout = {rng.next_digest(),
+                    static_cast<std::uint32_t>(rng.next_below(8))};
+      in.pubkey = {rng.next_u256(), rng.next_u256()};
+      in.sig = {rng.next_u256(), rng.next_u256(), rng.next_u256()};
+      tx.inputs.push_back(in);
+    }
+  }
+  for (std::uint64_t i = 0; i < 1 + rng.next_below(3); ++i) {
+    tx.outputs.push_back(TxOutput{rng.next_digest(), rng.next_below(1000)});
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(3); ++i) {
+    ForwardTransferOutput ft;
+    ft.ledger_id = rng.next_digest();
+    for (std::uint64_t j = 0; j < rng.next_below(3); ++j) {
+      ft.receiver_metadata.push_back(rng.next_digest());
+    }
+    ft.amount = 1 + rng.next_below(1000);
+    tx.forward_transfers.push_back(ft);
+  }
+  return tx;
+}
+
+WithdrawalCertificate random_cert(Rng& rng) {
+  WithdrawalCertificate cert;
+  cert.ledger_id = rng.next_digest();
+  cert.epoch_id = rng.next_below(20);
+  cert.quality = rng.next_below(1000);
+  for (std::uint64_t i = 0; i < rng.next_below(4); ++i) {
+    cert.bt_list.push_back({rng.next_digest(), rng.next_below(500)});
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(4); ++i) {
+    cert.proofdata.push_back(rng.next_digest());
+  }
+  cert.proof.binding = rng.next_digest();
+  return cert;
+}
+
+Block random_block(Rng& rng) {
+  Block b;
+  b.header.prev_hash = rng.next_digest();
+  b.header.height = rng.next_below(1000);
+  b.header.nonce = rng.next_u64();
+  b.transactions.push_back(random_tx(rng, /*coinbase=*/true));
+  for (std::uint64_t i = 0; i < rng.next_below(3); ++i) {
+    b.transactions.push_back(random_tx(rng));
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(2); ++i) {
+    SidechainParams p;
+    p.ledger_id = rng.next_digest();
+    p.start_block = 1 + rng.next_below(10);
+    p.epoch_len = 1 + rng.next_below(10);
+    p.submit_len = 1;
+    p.wcert_vk.id = rng.next_digest();
+    b.sidechain_creations.push_back(p);
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(2); ++i) {
+    b.certificates.push_back(random_cert(rng));
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(2); ++i) {
+    BtrRequest btr;
+    btr.ledger_id = rng.next_digest();
+    btr.receiver = rng.next_digest();
+    btr.amount = rng.next_below(100);
+    btr.nullifier = rng.next_digest();
+    btr.proof.binding = rng.next_digest();
+    b.btrs.push_back(btr);
+  }
+  b.header.tx_merkle_root = b.compute_tx_merkle_root();
+  b.header.sc_txs_commitment = hash_str(Domain::kGeneric, "whatever");
+  return b;
+}
+
+TEST(Codec, TransactionRoundTripPreservesId) {
+  Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    Transaction tx = random_tx(rng, i % 5 == 0);
+    auto bytes = encode_transaction(tx);
+    Transaction back = decode_transaction(bytes);
+    // The tx id hashes every field: equality of ids == field equality.
+    EXPECT_EQ(back.id(), tx.id());
+  }
+}
+
+TEST(Codec, BlockRoundTripPreservesHashAndRoots) {
+  Rng rng(2);
+  for (int i = 0; i < 15; ++i) {
+    Block b = random_block(rng);
+    auto bytes = encode_block(b);
+    Block back = decode_block(bytes);
+    EXPECT_EQ(back.hash(), b.hash());
+    EXPECT_EQ(back.compute_tx_merkle_root(), b.compute_tx_merkle_root());
+    EXPECT_EQ(back.certificates.size(), b.certificates.size());
+    for (std::size_t c = 0; c < b.certificates.size(); ++c) {
+      EXPECT_EQ(back.certificates[c].hash(), b.certificates[c].hash());
+    }
+  }
+}
+
+TEST(Codec, CertificateRoundTrip) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    WithdrawalCertificate cert = random_cert(rng);
+    Writer w;
+    encode(w, cert);
+    Reader r(w.bytes());
+    WithdrawalCertificate back = decode_certificate(r);
+    r.expect_done();
+    EXPECT_EQ(back.hash(), cert.hash());
+  }
+}
+
+TEST(Codec, TruncationAtEveryPointRejected) {
+  Rng rng(4);
+  Block b = random_block(rng);
+  auto bytes = encode_block(b);
+  // Cutting the message anywhere must throw, never crash or mis-decode.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, bytes.size() / 4,
+                          bytes.size() / 2, bytes.size() - 1}) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW((void)decode_block(prefix), CodecError) << "cut=" << cut;
+  }
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  Rng rng(5);
+  Transaction tx = random_tx(rng);
+  auto bytes = encode_transaction(tx);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_transaction(bytes), CodecError);
+}
+
+TEST(Codec, HostileCountRejected) {
+  // A message claiming 2^63 inputs must be rejected by the count guard,
+  // not by an allocation failure.
+  Writer w;
+  w.put_bool(false);                  // is_coinbase
+  w.put_u64(0);                       // coinbase_height
+  w.put_u64(std::uint64_t{1} << 63);  // inputs count
+  EXPECT_THROW((void)decode_transaction(w.bytes()), CodecError);
+}
+
+TEST(Codec, InvalidBooleanRejected) {
+  Writer w;
+  w.put_u8(7);  // is_coinbase must be 0/1
+  w.put_u64(0);
+  w.put_u64(0);
+  w.put_u64(0);
+  w.put_u64(0);
+  EXPECT_THROW((void)decode_transaction(w.bytes()), CodecError);
+}
+
+TEST(Codec, EncodingIsDeterministic) {
+  Rng rng(6);
+  Block b = random_block(rng);
+  EXPECT_EQ(encode_block(b), encode_block(b));
+}
+
+TEST(Codec, BitFlipChangesDecodedIdentity) {
+  Rng rng(7);
+  Transaction tx = random_tx(rng);
+  auto bytes = encode_transaction(tx);
+  // Flip one payload byte: either decode fails or the id changes; the
+  // codec must never silently return the original transaction.
+  for (std::size_t i = 0; i < bytes.size(); i += 13) {
+    auto mutated = bytes;
+    mutated[i] ^= 1;
+    try {
+      Transaction back = decode_transaction(mutated);
+      EXPECT_NE(back.id(), tx.id()) << "byte " << i;
+    } catch (const CodecError&) {
+      // fine: strict rejection
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zendoo::mainchain::codec

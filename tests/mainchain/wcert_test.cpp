@@ -1,0 +1,113 @@
+// Unit tests for the cross-chain posting types and their MC-enforced
+// SNARK statement layouts (paper Defs 4.3-4.6).
+#include "mainchain/wcert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zendoo::mainchain {
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::hash_str;
+
+WithdrawalCertificate sample_cert() {
+  WithdrawalCertificate cert;
+  cert.ledger_id = hash_str(Domain::kGeneric, "sc");
+  cert.epoch_id = 7;
+  cert.quality = 42;
+  cert.bt_list = {{hash_str(Domain::kAddress, "r1"), 10},
+                  {hash_str(Domain::kAddress, "r2"), 20}};
+  cert.proofdata = {hash_str(Domain::kGeneric, "pd0"),
+                    hash_str(Domain::kGeneric, "pd1")};
+  return cert;
+}
+
+TEST(WcertTypes, HashCoversEveryField) {
+  WithdrawalCertificate base = sample_cert();
+  Digest h = base.hash();
+
+  auto differs = [&](auto mutate) {
+    WithdrawalCertificate c = sample_cert();
+    mutate(c);
+    return c.hash() != h;
+  };
+  EXPECT_TRUE(differs([](auto& c) { c.epoch_id += 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.quality += 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.bt_list[0].amount += 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.bt_list.pop_back(); }));
+  EXPECT_TRUE(differs([](auto& c) { c.proofdata[0].bytes[0] ^= 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.proof.binding.bytes[0] ^= 1; }));
+  EXPECT_TRUE(
+      differs([](auto& c) { c.ledger_id = hash_str(Domain::kGeneric, "x"); }));
+}
+
+TEST(WcertTypes, BtListRootMatchesLeafMerkle) {
+  WithdrawalCertificate cert = sample_cert();
+  std::vector<Digest> leaves;
+  for (const auto& bt : cert.bt_list) leaves.push_back(bt.leaf_hash());
+  EXPECT_EQ(cert.bt_list_root(), merkle::merkle_root(leaves));
+  EXPECT_EQ(cert.total_withdrawn(), 30u);
+}
+
+TEST(WcertTypes, EmptyBtListHasCanonicalRoot) {
+  WithdrawalCertificate cert;
+  EXPECT_EQ(cert.bt_list_root(), merkle::MerkleTree::empty_root());
+  EXPECT_EQ(cert.total_withdrawn(), 0u);
+}
+
+TEST(WcertTypes, StatementLayoutSensitivity) {
+  WithdrawalCertificate cert = sample_cert();
+  Digest prev = hash_str(Domain::kBlockHeader, "prev");
+  Digest last = hash_str(Domain::kBlockHeader, "last");
+  auto st = wcert_statement_for(cert, prev, last);
+  ASSERT_EQ(st.size(), 5u);
+  // Every wcert_sysdata component shows up and perturbs the statement.
+  EXPECT_EQ(st[0], snark::statement_u64(cert.quality));
+  EXPECT_EQ(st[1], cert.bt_list_root());
+  EXPECT_EQ(st[2], prev);
+  EXPECT_EQ(st[3], last);
+  EXPECT_EQ(st[4], cert.proofdata_root());
+  cert.quality += 1;
+  EXPECT_NE(wcert_statement_for(cert, prev, last)[0], st[0]);
+}
+
+TEST(WcertTypes, BtrAndCswStatementsAreDomainSeparated) {
+  Digest bw = hash_str(Domain::kBlockHeader, "bw");
+  Digest nf = hash_str(Domain::kNullifier, "n");
+  Digest recv = hash_str(Domain::kAddress, "r");
+  Digest pd = merkle::MerkleTree::empty_root();
+  auto btr = btr_statement(bw, nf, recv, 100, pd);
+  auto csw = csw_statement(bw, nf, recv, 100, pd);
+  EXPECT_EQ(btr.size(), 5u);
+  EXPECT_EQ(csw.size(), 6u);  // extra CSW tag
+  // The shared prefix matches; the tag prevents replay across kinds.
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(btr[i], csw[i]);
+}
+
+TEST(WcertTypes, BtrHashDistinctFromCswHash) {
+  BtrRequest btr;
+  btr.ledger_id = hash_str(Domain::kGeneric, "sc");
+  btr.receiver = hash_str(Domain::kAddress, "r");
+  btr.amount = 5;
+  btr.nullifier = hash_str(Domain::kNullifier, "n");
+  CeasedSidechainWithdrawal csw;
+  csw.ledger_id = btr.ledger_id;
+  csw.receiver = btr.receiver;
+  csw.amount = btr.amount;
+  csw.nullifier = btr.nullifier;
+  EXPECT_NE(btr.hash(), csw.hash());
+}
+
+TEST(WcertTypes, BackwardTransferLeafSensitivity) {
+  BackwardTransfer a{hash_str(Domain::kAddress, "r"), 10};
+  BackwardTransfer b = a;
+  b.amount = 11;
+  EXPECT_NE(a.leaf_hash(), b.leaf_hash());
+  BackwardTransfer c = a;
+  c.receiver = hash_str(Domain::kAddress, "other");
+  EXPECT_NE(a.leaf_hash(), c.leaf_hash());
+}
+
+}  // namespace
+}  // namespace zendoo::mainchain

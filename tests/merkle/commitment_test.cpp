@@ -1,0 +1,258 @@
+#include "merkle/commitment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::merkle {
+namespace {
+
+using crypto::hash_str;
+using crypto::Rng;
+
+SidechainId sc(int i) {
+  return crypto::Hasher(Domain::kGeneric)
+      .write_u64(static_cast<std::uint64_t>(i))
+      .finalize();
+}
+
+Digest tx(int i) {
+  return crypto::Hasher(Domain::kTxId)
+      .write_u64(static_cast<std::uint64_t>(i))
+      .finalize();
+}
+
+TEST(Commitment, EmptyBlockRoot) {
+  ScTxCommitmentTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.root(),
+            ScTxCommitmentTree::final_root(MerkleTree::empty_root(), 0));
+}
+
+TEST(Commitment, MembershipRoundTrip) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(10));
+  t.add_forward_transfer(sc(1), tx(11));
+  t.add_btr(sc(1), tx(12));
+  t.set_wcert(sc(1), tx(13));
+  t.add_forward_transfer(sc(2), tx(20));
+
+  Digest root = t.root();
+  auto p1 = t.prove_membership(sc(1));
+  EXPECT_TRUE(ScTxCommitmentTree::verify_membership(root, sc(1), p1));
+  auto p2 = t.prove_membership(sc(2));
+  EXPECT_TRUE(ScTxCommitmentTree::verify_membership(root, sc(2), p2));
+}
+
+TEST(Commitment, MembershipProofBindsToSidechainId) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(10));
+  t.add_forward_transfer(sc(2), tx(20));
+  Digest root = t.root();
+  auto p1 = t.prove_membership(sc(1));
+  // Same proof presented for a different sidechain id must fail.
+  EXPECT_FALSE(ScTxCommitmentTree::verify_membership(root, sc(2), p1));
+  EXPECT_FALSE(ScTxCommitmentTree::verify_membership(root, sc(3), p1));
+}
+
+TEST(Commitment, MembershipDetectsTamperedTxs) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(10));
+  Digest root = t.root();
+  auto p = t.prove_membership(sc(1));
+  p.txs_hash.bytes[0] ^= 1;
+  EXPECT_FALSE(ScTxCommitmentTree::verify_membership(root, sc(1), p));
+}
+
+TEST(Commitment, TxsHashReconstructibleFromLists) {
+  // SC nodes recompute FTHash/BTRHash from synced tx lists and compare.
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(1));
+  t.add_forward_transfer(sc(1), tx(2));
+  t.add_btr(sc(1), tx(3));
+  auto p = t.prove_membership(sc(1));
+
+  Digest ft_root = merkle_root({tx(1), tx(2)});
+  Digest btr_root = merkle_root({tx(3)});
+  Digest reconstructed =
+      crypto::hash_pair(Domain::kMerkleNode, ft_root, btr_root);
+  EXPECT_EQ(p.txs_hash, reconstructed);
+}
+
+TEST(Commitment, OnlyOneWcertPerSidechain) {
+  ScTxCommitmentTree t;
+  t.set_wcert(sc(1), tx(1));
+  EXPECT_THROW(t.set_wcert(sc(1), tx(2)), std::logic_error);
+}
+
+TEST(Commitment, ProveMembershipAbsentThrows) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(1));
+  EXPECT_THROW((void)t.prove_membership(sc(9)), std::invalid_argument);
+}
+
+TEST(Commitment, ProveAbsencePresentThrows) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(1));
+  EXPECT_THROW((void)t.prove_absence(sc(1)), std::invalid_argument);
+}
+
+TEST(Commitment, AbsenceInEmptyBlock) {
+  ScTxCommitmentTree t;
+  auto p = t.prove_absence(sc(5));
+  EXPECT_TRUE(ScTxCommitmentTree::verify_absence(t.root(), sc(5), p));
+}
+
+TEST(Commitment, AbsenceBetweenNeighbors) {
+  // Insert several sidechains; prove absence for one that sorts between.
+  ScTxCommitmentTree t;
+  std::vector<SidechainId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(sc(i));
+    t.add_forward_transfer(ids.back(), tx(i));
+  }
+  std::sort(ids.begin(), ids.end());
+  // Target: an id strictly between ids[3] and ids[4].
+  SidechainId target = ids[3];
+  target.bytes[31] ^= 1;  // perturb the low byte
+  if (!(ids[3] < target && target < ids[4])) {
+    target = ids[3];
+    target.bytes[31] += 1;
+  }
+  ASSERT_FALSE(t.data().contains(target));
+  auto p = t.prove_absence(target);
+  EXPECT_TRUE(p.left && p.right);
+  EXPECT_TRUE(ScTxCommitmentTree::verify_absence(t.root(), target, p));
+}
+
+TEST(Commitment, AbsenceAtEdges) {
+  ScTxCommitmentTree t;
+  for (int i = 0; i < 5; ++i) t.add_btr(sc(i), tx(i));
+  // Find ids below the smallest and above the largest present id.
+  std::vector<SidechainId> present;
+  for (const auto& [id, _] : t.data()) present.push_back(id);
+
+  SidechainId below{};  // all zero bytes sorts first
+  ASSERT_LT(below, present.front());
+  auto p_lo = t.prove_absence(below);
+  EXPECT_FALSE(p_lo.left.has_value());
+  EXPECT_TRUE(p_lo.right.has_value());
+  EXPECT_TRUE(ScTxCommitmentTree::verify_absence(t.root(), below, p_lo));
+
+  SidechainId above;
+  above.bytes.fill(0xFF);
+  ASSERT_LT(present.back(), above);
+  auto p_hi = t.prove_absence(above);
+  EXPECT_TRUE(p_hi.left.has_value());
+  EXPECT_FALSE(p_hi.right.has_value());
+  EXPECT_TRUE(ScTxCommitmentTree::verify_absence(t.root(), above, p_hi));
+}
+
+TEST(Commitment, AbsenceProofRejectsPresentId) {
+  ScTxCommitmentTree t;
+  for (int i = 0; i < 5; ++i) t.add_btr(sc(i), tx(i));
+  std::vector<SidechainId> present;
+  for (const auto& [id, _] : t.data()) present.push_back(id);
+
+  // Craft a fake absence proof for an id that IS present by using its
+  // neighbours: witnesses won't bracket it correctly.
+  SidechainId target = present[2];
+  AbsenceProof fake;
+  fake.leaf_count = 5;
+  auto real = t.prove_absence([&] {
+    SidechainId x = target;
+    x.bytes[31] ^= 1;
+    return x;
+  }());
+  fake.left = real.left;
+  fake.right = real.right;
+  EXPECT_FALSE(ScTxCommitmentTree::verify_absence(t.root(), target, fake) &&
+               fake.left && fake.left->sc_id < target &&
+               (!fake.right || target < fake.right->sc_id));
+}
+
+TEST(Commitment, AbsenceProofRejectsNonAdjacentWitnesses) {
+  ScTxCommitmentTree t;
+  for (int i = 0; i < 8; ++i) t.add_btr(sc(i), tx(i));
+  std::vector<SidechainId> present;
+  for (const auto& [id, _] : t.data()) present.push_back(id);
+
+  // Find a target strictly between two adjacent present ids; witnesses
+  // that bracket it but are not adjacent must be rejected (a leaf equal to
+  // the target could hide between them).
+  std::optional<SidechainId> found;
+  std::size_t gap_index = 0;
+  for (std::size_t i = 1; i + 1 < present.size() && !found; ++i) {
+    SidechainId candidate = present[i];
+    candidate.bytes[31] ^= 1;
+    if (present[i] < candidate && candidate < present[i + 1]) {
+      found = candidate;
+      gap_index = i;
+    }
+  }
+  ASSERT_TRUE(found.has_value()) << "no usable gap between present ids";
+  SidechainId target = *found;
+  (void)gap_index;
+  auto honest = t.prove_absence(target);
+  ASSERT_TRUE(honest.left && honest.right);
+  // Build a dishonest variant with a farther-left witness.
+  MerkleTree top = [&] {
+    std::vector<Digest> leaves;
+    for (const auto& [id, data] : t.data()) leaves.push_back(data.sc_hash(id));
+    return MerkleTree(leaves);
+  }();
+  AbsenceProof bad = honest;
+  auto it = t.data().begin();  // index 0: id < target for sure
+  bad.left = NeighborWitness{it->first, it->second.txs_hash(),
+                             it->second.wcert_leaf(), top.prove(0)};
+  EXPECT_FALSE(ScTxCommitmentTree::verify_absence(t.root(), target, bad));
+}
+
+TEST(Commitment, AbsenceRejectsWrongCount) {
+  ScTxCommitmentTree t;
+  for (int i = 0; i < 4; ++i) t.add_btr(sc(i), tx(i));
+  SidechainId below{};
+  auto p = t.prove_absence(below);
+  p.leaf_count = 3;
+  EXPECT_FALSE(ScTxCommitmentTree::verify_absence(t.root(), below, p));
+}
+
+TEST(Commitment, RootChangesWithAnyAction) {
+  ScTxCommitmentTree t;
+  t.add_forward_transfer(sc(1), tx(1));
+  Digest r1 = t.root();
+  t.add_btr(sc(1), tx(2));
+  Digest r2 = t.root();
+  EXPECT_NE(r1, r2);
+  t.set_wcert(sc(1), tx(3));
+  Digest r3 = t.root();
+  EXPECT_NE(r2, r3);
+  t.add_forward_transfer(sc(9), tx(4));
+  EXPECT_NE(r3, t.root());
+}
+
+class CommitmentScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommitmentScale, ManySidechainsAllProvable) {
+  int n = GetParam();
+  ScTxCommitmentTree t;
+  Rng rng(static_cast<std::uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    t.add_forward_transfer(sc(i), rng.next_digest());
+    if (i % 3 == 0) t.set_wcert(sc(i), rng.next_digest());
+  }
+  Digest root = t.root();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(ScTxCommitmentTree::verify_membership(
+        root, sc(i), t.prove_membership(sc(i))));
+  }
+  // And an id not present is provably absent.
+  auto p = t.prove_absence(sc(n + 1000));
+  EXPECT_TRUE(ScTxCommitmentTree::verify_absence(root, sc(n + 1000), p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CommitmentScale,
+                         ::testing::Values(1, 2, 3, 7, 16, 33));
+
+}  // namespace
+}  // namespace zendoo::merkle

@@ -1,0 +1,138 @@
+#include "snark/r1cs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zendoo::snark {
+namespace {
+
+// Circuit for x^3 + x + 5 == out (the classic toy example):
+// public: out; witness: x, plus intermediates.
+struct CubicCircuit {
+  ConstraintSystem cs;
+  std::uint32_t out, x;
+
+  CubicCircuit() {
+    out = cs.allocate_public();
+    x = cs.allocate_witness();
+    std::uint32_t x2 = cs.mul(x, x);
+    std::uint32_t x3 = cs.mul(x2, x);
+    std::uint32_t x3px = cs.add(x3, x);
+    std::uint32_t result = cs.add_const(x3px, u256{5});
+    cs.enforce_equal(result, out);
+  }
+
+  // Witness vector for a given x (matching allocation order).
+  [[nodiscard]] std::vector<u256> witness_for(std::uint64_t xv) const {
+    u256 X{xv};
+    u256 x2 = fmul(X, X);
+    u256 x3 = fmul(x2, X);
+    u256 x3px = fadd(x3, X);
+    u256 result = fadd(x3px, u256{5});
+    return {X, x2, x3, x3px, result};
+  }
+};
+
+TEST(R1cs, CubicSatisfied) {
+  CubicCircuit c;
+  // x=3: 27+3+5 = 35.
+  EXPECT_TRUE(c.cs.is_satisfied({u256{35}}, c.witness_for(3)));
+}
+
+TEST(R1cs, CubicUnsatisfiedWrongPublic) {
+  CubicCircuit c;
+  EXPECT_FALSE(c.cs.is_satisfied({u256{36}}, c.witness_for(3)));
+}
+
+TEST(R1cs, CubicUnsatisfiedWrongWitness) {
+  CubicCircuit c;
+  auto w = c.witness_for(3);
+  w[0] = u256{4};  // claim x=4 but keep intermediates for x=3
+  EXPECT_FALSE(c.cs.is_satisfied({u256{35}}, w));
+}
+
+TEST(R1cs, SizeMismatchRejected) {
+  CubicCircuit c;
+  EXPECT_FALSE(c.cs.is_satisfied({}, c.witness_for(3)));
+  EXPECT_FALSE(c.cs.is_satisfied({u256{35}, u256{1}}, c.witness_for(3)));
+  EXPECT_FALSE(c.cs.is_satisfied({u256{35}}, {}));
+}
+
+TEST(R1cs, BooleanGadget) {
+  ConstraintSystem cs;
+  std::uint32_t b = cs.allocate_public();
+  cs.enforce_boolean(b);
+  EXPECT_TRUE(cs.is_satisfied({u256{0}}, {}));
+  EXPECT_TRUE(cs.is_satisfied({u256{1}}, {}));
+  EXPECT_FALSE(cs.is_satisfied({u256{2}}, {}));
+}
+
+TEST(R1cs, EnforceConst) {
+  ConstraintSystem cs;
+  std::uint32_t v = cs.allocate_public();
+  cs.enforce_const(v, u256{42});
+  EXPECT_TRUE(cs.is_satisfied({u256{42}}, {}));
+  EXPECT_FALSE(cs.is_satisfied({u256{43}}, {}));
+}
+
+TEST(R1cs, FieldArithmeticWrapsAtModulus) {
+  // (p-1) + 1 == 0 in the field.
+  u256 pm1 = kFieldModulus - u256{1};
+  EXPECT_TRUE(fadd(pm1, u256{1}).is_zero());
+  EXPECT_EQ(fsub(u256{0}, u256{1}), pm1);
+}
+
+TEST(R1cs, PublicAfterWitnessThrows) {
+  ConstraintSystem cs;
+  cs.allocate_witness();
+  EXPECT_THROW(cs.allocate_public(), std::logic_error);
+}
+
+TEST(R1cs, UnallocatedVariableRejected) {
+  ConstraintSystem cs;
+  EXPECT_THROW(cs.add_constraint({{5}}, {{ConstraintSystem::kOne}}, {}),
+               std::out_of_range);
+}
+
+TEST(R1cs, StructureHashDistinguishesCircuits) {
+  CubicCircuit a, b;
+  EXPECT_EQ(a.cs.structure_hash(), b.cs.structure_hash());
+  ConstraintSystem different;
+  std::uint32_t v = different.allocate_public();
+  different.enforce_boolean(v);
+  EXPECT_NE(a.cs.structure_hash(), different.structure_hash());
+}
+
+TEST(R1cs, StructureHashSensitiveToCoefficient) {
+  ConstraintSystem a, b;
+  std::uint32_t va = a.allocate_public();
+  std::uint32_t vb = b.allocate_public();
+  a.add_constraint({{va, u256{2}}}, {{ConstraintSystem::kOne}}, {});
+  b.add_constraint({{vb, u256{3}}}, {{ConstraintSystem::kOne}}, {});
+  EXPECT_NE(a.structure_hash(), b.structure_hash());
+}
+
+TEST(R1cs, CountsTracked) {
+  CubicCircuit c;
+  EXPECT_EQ(c.cs.num_public(), 1u);
+  EXPECT_EQ(c.cs.num_witness(), 5u);
+  EXPECT_EQ(c.cs.num_constraints(), 5u);
+}
+
+class R1csWideSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(R1csWideSweep, CubicHoldsForManyX) {
+  CubicCircuit c;
+  std::uint64_t x = GetParam();
+  u256 expected = fadd(fadd(fmul(fmul(u256{x}, u256{x}), u256{x}), u256{x}),
+                       u256{5});
+  EXPECT_TRUE(c.cs.is_satisfied({expected}, c.witness_for(x)));
+  EXPECT_FALSE(
+      c.cs.is_satisfied({fadd(expected, u256{1})}, c.witness_for(x)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Xs, R1csWideSweep,
+                         ::testing::Values(0, 1, 2, 7, 100, 12345,
+                                           0xFFFFFFFFULL));
+
+}  // namespace
+}  // namespace zendoo::snark
