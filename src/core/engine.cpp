@@ -98,19 +98,46 @@ void Engine::set_auto_certificates(const SidechainId& id, bool enabled) {
 
 void Engine::resync_sidechains_after_reorg() {
   for (auto& [id, entry] : sidechains_) {
-    auto fresh = std::make_unique<latus::LatusNode>(
-        id, entry.start_block, entry.epoch_len, entry.submit_len,
-        entry.mst_depth, entry.slots_per_epoch);
-    for (const auto& key : entry.forgers) fresh->add_forger(key);
-    entry.node = std::move(fresh);
-    // Replay the active chain from the first post-genesis block.
-    for (std::uint64_t h = 1; h <= chain_.height(); ++h) {
+    // Fork point between what this node observed and the new active
+    // chain: the highest observed height whose hash is still active.
+    std::uint64_t top = std::min(entry.synced_height, chain_.height());
+    std::uint64_t fork_height = 0;
+    for (std::uint64_t h = top; h >= 1; --h) {
+      auto seen = entry.node->observed_mc_hash(h);
+      if (seen && *seen == chain_.hash_at_height(h)) {
+        fork_height = h;
+        break;
+      }
+    }
+
+    std::uint64_t replay_from;
+    if (fork_height == entry.synced_height) {
+      // Nothing the node observed was rolled back; just catch up.
+      replay_from = fork_height + 1;
+    } else if (auto restored =
+                   entry.node->rollback_to_mc_ancestor(fork_height)) {
+      replay_from = *restored + 1;
+    } else {
+      // No retained checkpoint covers the fork point: rebuild from
+      // scratch (the pre-checkpoint fallback path).
+      auto fresh = std::make_unique<latus::LatusNode>(
+          id, entry.start_block, entry.epoch_len, entry.submit_len,
+          entry.mst_depth, entry.slots_per_epoch);
+      for (const auto& key : entry.forgers) fresh->add_forger(key);
+      entry.node = std::move(fresh);
+      replay_from = 1;
+    }
+
+    entry.synced_height = replay_from - 1;
+    for (std::uint64_t h = replay_from; h <= chain_.height(); ++h) {
       const mainchain::Block* b = chain_.find_block(chain_.hash_at_height(h));
       if (b == nullptr) {
         throw std::logic_error("Engine: active chain block missing");
       }
       sync_entry(entry, *b);
-      while (auto cert = entry.node->build_certificate()) {
+      while (entry.auto_certificates) {
+        auto cert = entry.node->build_certificate();
+        if (!cert) break;
         // Certificates for already-finalized epochs would be rejected by
         // the MC (outside their window); only re-queue fresh ones.
         const auto* sc = chain_.state().find_sidechain(id);

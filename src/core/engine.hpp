@@ -60,10 +60,14 @@ class Engine {
   /// ceased-sidechain handling (Def 4.2) and CSWs.
   void set_auto_certificates(const SidechainId& id, bool enabled);
 
-  /// Rebuild every sidechain node from the (possibly reorged) MC active
+  /// Re-sync every sidechain node with the (possibly reorged) MC active
   /// chain — the §5.1 "mainchain forks resolution" behaviour: SC blocks
   /// that referenced rolled-back MC blocks are unwound, and the sidechain
-  /// re-syncs along the new branch. SC-local mempool content is dropped.
+  /// re-syncs along the new branch. Each node is rolled back to its
+  /// newest checkpoint at or below the fork point and replays only the
+  /// blocks after it (LatusNode::rollback_to_mc_ancestor); nodes whose
+  /// fork point undercuts every retained checkpoint are rebuilt from
+  /// scratch. SC-local mempool content is dropped.
   void resync_sidechains_after_reorg();
 
  private:

@@ -262,7 +262,51 @@ std::string LatusNode::forge_until_synced() {
   while (!pending_refs_.empty()) {
     if (std::string err = forge_block(); !err.empty()) return err;
   }
+  maybe_checkpoint();
   return "";
+}
+
+std::optional<Digest> LatusNode::observed_mc_hash(std::uint64_t h) const {
+  auto it = mc_hash_by_height_.find(h);
+  if (it == mc_hash_by_height_.end()) return std::nullopt;
+  return it->second;
+}
+
+void LatusNode::maybe_checkpoint() {
+  if (!last_mc_height_) return;
+  std::uint64_t h = *last_mc_height_;
+  if (h % kCheckpointInterval != 0) return;
+  if (!checkpoints_.empty() && checkpoints_.back().first >= h) return;
+  auto snap = std::make_shared<LatusNode>(*this);
+  // A snapshot must not hold snapshots of its own (and a restore must not
+  // resurrect stale ones).
+  snap->checkpoints_.clear();
+  checkpoints_.emplace_back(h, std::move(snap));
+  if (checkpoints_.size() > kMaxCheckpoints) {
+    checkpoints_.erase(checkpoints_.begin());
+  }
+}
+
+std::optional<std::uint64_t> LatusNode::rollback_to_mc_ancestor(
+    std::uint64_t mc_height) {
+  // Newest checkpoint at or below the fork point.
+  std::size_t pick = checkpoints_.size();
+  for (std::size_t i = checkpoints_.size(); i-- > 0;) {
+    if (checkpoints_[i].first <= mc_height) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick == checkpoints_.size()) return std::nullopt;
+
+  // Keep the checkpoints up to (and including) the restored one; the
+  // assignment below would otherwise wipe them.
+  auto kept = std::move(checkpoints_);
+  std::uint64_t restored = kept[pick].first;
+  *this = *kept[pick].second;
+  kept.resize(pick + 1);
+  checkpoints_ = std::move(kept);
+  return restored;
 }
 
 std::optional<mainchain::WithdrawalCertificate> LatusNode::build_certificate(

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 
 #include "latus/consensus.hpp"
 #include "latus/proofs.hpp"
@@ -22,6 +23,13 @@ namespace zendoo::latus {
 
 class LatusNode {
  public:
+  /// MC reorg handling (§5.1 "Mainchain forks resolution"): the node
+  /// checkpoints its full state every kCheckpointInterval observed MC
+  /// blocks (bounded ring of kMaxCheckpoints), so a rollback to a fork
+  /// point restores the newest covering checkpoint and replays only the
+  /// MC blocks after it — instead of rebuilding from genesis.
+  static constexpr std::uint64_t kCheckpointInterval = 8;
+  static constexpr std::size_t kMaxCheckpoints = 16;
   LatusNode(const SidechainId& ledger_id, std::uint64_t start_block,
             std::uint64_t epoch_len, std::uint64_t submit_len,
             unsigned mst_depth = 12, std::uint64_t slots_per_epoch = 16);
@@ -96,6 +104,24 @@ class LatusNode {
   /// Slot leader for the node's next block, for inspection/testing.
   [[nodiscard]] Address next_slot_leader() const;
 
+  // ---- MC reorg support ----
+
+  /// Height of the last MC block this node observed, if any.
+  [[nodiscard]] std::optional<std::uint64_t> last_observed_mc_height() const {
+    return last_mc_height_;
+  }
+  /// Hash of the MC block this node observed at `h`, if it observed one.
+  [[nodiscard]] std::optional<Digest> observed_mc_hash(
+      std::uint64_t h) const;
+
+  /// Rolls the node back to the newest checkpoint whose last observed MC
+  /// height is <= mc_height (the fork point of a reorg). Returns the
+  /// restored observation height — the caller replays the new active
+  /// branch from the block after it — or nullopt when no retained
+  /// checkpoint is old enough (the node must be rebuilt from scratch).
+  [[nodiscard]] std::optional<std::uint64_t> rollback_to_mc_ancestor(
+      std::uint64_t mc_height);
+
  private:
   /// Everything needed to produce the certificate of one withdrawal epoch.
   struct EpochSnapshot {
@@ -126,6 +152,9 @@ class LatusNode {
       const Address& mc_receiver) const;
   [[nodiscard]] const crypto::KeyPair* forger_for(const Address& addr) const;
   void refresh_consensus_epoch(std::uint64_t epoch) const;
+  /// Snapshot the node every kCheckpointInterval MC heights once fully
+  /// forged (no pending refs).
+  void maybe_checkpoint();
 
   mainchain::SidechainParams mc_params_;
   LatusProofSystem proofs_;
@@ -160,6 +189,12 @@ class LatusNode {
   std::optional<ObservedCert> observed_cert_;
   /// All observed certificates in MC order (Appendix-A link chain).
   std::vector<ObservedCert> observed_history_;
+
+  /// Reorg checkpoints, oldest first: (last observed MC height, snapshot).
+  /// Snapshots carry an empty checkpoint list of their own; copying a
+  /// LatusNode only bumps shared_ptr refcounts here.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const LatusNode>>>
+      checkpoints_;
 
   // Consensus-epoch cache (lazily refreshed; logically const).
   mutable std::uint64_t cached_consensus_epoch_ = ~0ULL;

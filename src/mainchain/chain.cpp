@@ -1,13 +1,21 @@
 #include "mainchain/chain.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace zendoo::mainchain {
 
 namespace {
 
-Digest nullifier_key(const SidechainId& id, const Digest& nullifier) {
-  return crypto::Hasher(Domain::kNullifier).write(id).write(nullifier).finalize();
+std::string check_genesis(const Block& block) {
+  if (block.header.height != 0) return "first block must be genesis";
+  if (!block.header.prev_hash.is_zero()) return "genesis must have no parent";
+  if (!block.transactions.empty() || !block.certificates.empty() ||
+      !block.btrs.empty() || !block.csws.empty() ||
+      !block.sidechain_creations.empty()) {
+    return "genesis block must be empty";
+  }
+  return "";
 }
 
 }  // namespace
@@ -25,9 +33,8 @@ const SidechainStatus* ChainState::find_sidechain(
   return it == sidechains_.end() ? nullptr : &it->second;
 }
 
-bool ChainState::nullifier_used(const SidechainId& id,
-                                const Digest& nullifier) const {
-  return nullifiers_.contains(nullifier_key(id, nullifier));
+bool ChainState::nullifier_key_used(const Digest& key) const {
+  return nullifiers_.contains(key);
 }
 
 Digest ChainState::hash_at_height(std::uint64_t h) const {
@@ -35,13 +42,11 @@ Digest ChainState::hash_at_height(std::uint64_t h) const {
   return block_hashes_[h];
 }
 
-std::pair<Digest, Digest> ChainState::epoch_boundary_hashes(
-    const SidechainParams& params, std::uint64_t epoch) const {
-  Digest prev_last = epoch == 0
-                         ? hash_at_height(params.start_block - 1)
-                         : hash_at_height(params.epoch_end(epoch - 1));
-  Digest last = hash_at_height(params.epoch_end(epoch));
-  return {prev_last, last};
+std::vector<SidechainId> ChainState::sidechain_ids() const {
+  std::vector<SidechainId> ids;
+  ids.reserve(sidechains_.size());
+  for (const auto& [id, _] : sidechains_) ids.push_back(id);
+  return ids;
 }
 
 Amount ChainState::balance_of(const Address& addr) const {
@@ -63,319 +68,149 @@ std::vector<std::pair<OutPoint, TxOutput>> ChainState::utxos_of(
   return out;
 }
 
-std::string ChainState::connect_block(const Block& block) {
-  ChainState tmp = *this;
-  std::string err = tmp.apply(block);
-  if (err.empty()) *this = std::move(tmp);
-  return err;
+Digest ChainState::state_fingerprint() const {
+  // UTXOs and nullifiers live in unordered containers: hash each entry
+  // independently and combine with XOR so iteration order cannot matter.
+  auto hash_outpoint_entry = [](const OutPoint& op, const TxOutput& out) {
+    return crypto::Hasher(Domain::kGeneric)
+        .write(op.txid)
+        .write_u64(op.index)
+        .write(out.addr)
+        .write_u64(out.amount)
+        .finalize();
+  };
+  Digest utxo_acc{};
+  for (const auto& [op, out] : utxos_) {
+    Digest h = hash_outpoint_entry(op, out);
+    for (std::size_t i = 0; i < h.bytes.size(); ++i) {
+      utxo_acc.bytes[i] ^= h.bytes[i];
+    }
+  }
+  Digest nullifier_acc{};
+  for (const Digest& n : nullifiers_) {
+    for (std::size_t i = 0; i < n.bytes.size(); ++i) {
+      nullifier_acc.bytes[i] ^= n.bytes[i];
+    }
+  }
+
+  crypto::Hasher h(Domain::kGeneric);
+  h.write_u64(height_).write(tip_).write(utxo_acc).write(nullifier_acc);
+  h.write_u64(block_hashes_.size());
+  for (const Digest& bh : block_hashes_) h.write(bh);
+  h.write_u64(sidechains_.size());
+  for (const auto& [id, sc] : sidechains_) {
+    h.write(id)
+        .write(sc.params.hash())
+        .write_u64(sc.created_at_height)
+        .write_u64(sc.balance)
+        .write_u8(sc.ceased ? 1 : 0);
+    h.write_u8(sc.pending_cert.has_value() ? 1 : 0);
+    if (sc.pending_cert) {
+      h.write(sc.pending_cert->hash())
+          .write_u64(sc.pending_cert_epoch)
+          .write(sc.pending_cert_block);
+    }
+    h.write_u8(sc.last_finalized_epoch.has_value() ? 1 : 0);
+    if (sc.last_finalized_epoch) h.write_u64(*sc.last_finalized_epoch);
+    h.write(sc.last_cert_block);
+  }
+  return h.finalize();
+}
+
+BlockUndo ChainState::build_undo(const CacheView& view,
+                                 const Block& block) const {
+  BlockUndo undo;
+  undo.block_hash = block.hash();
+  undo.height = block.header.height;
+  for (const auto& [op, entry] : view.utxo_entries()) {
+    const TxOutput* prior = find_utxo(op);
+    if (entry.has_value()) {
+      if (prior != nullptr) undo.spent.emplace_back(op, *prior);
+      undo.created.push_back(op);
+    } else if (prior != nullptr) {
+      undo.spent.emplace_back(op, *prior);
+    }
+    // entry == nullopt with no prior: created and spent within this very
+    // block — net zero, nothing to undo.
+  }
+  for (const auto& [id, _] : view.sidechain_entries()) {
+    const SidechainStatus* prior = find_sidechain(id);
+    undo.sidechains.emplace_back(
+        id, prior ? std::optional<SidechainStatus>(*prior) : std::nullopt);
+  }
+  for (const Digest& key : view.nullifier_entries()) {
+    undo.nullifier_keys.push_back(key);
+  }
+  return undo;
+}
+
+void ChainState::flush(const CacheView& view, const Block& block) {
+  for (const auto& [op, entry] : view.utxo_entries()) {
+    if (entry.has_value()) {
+      utxos_[op] = *entry;
+    } else {
+      utxos_.erase(op);
+    }
+  }
+  for (const auto& [id, sc] : view.sidechain_entries()) {
+    sidechains_[id] = sc;
+  }
+  for (const Digest& key : view.nullifier_entries()) {
+    nullifiers_.insert(key);
+  }
+  ++height_;
+  tip_ = block.hash();
+  block_hashes_.push_back(tip_);
+}
+
+std::string ChainState::connect_block(const Block& block, BlockUndo* undo) {
+  if (!genesis_connected_) {
+    if (std::string err = check_genesis(block); !err.empty()) return err;
+    genesis_connected_ = true;
+    height_ = 0;
+    tip_ = block.hash();
+    block_hashes_ = {tip_};
+    if (undo != nullptr) *undo = BlockUndo{tip_, 0, {}, {}, {}, {}};
+    return "";
+  }
+
+  CacheView view(*this);
+  if (std::string err = apply_block(view, params_, block); !err.empty()) {
+    return err;
+  }
+  if (undo != nullptr) *undo = build_undo(view, block);
+  flush(view, block);
+  return "";
+}
+
+std::string ChainState::disconnect_block(const BlockUndo& undo) {
+  if (!genesis_connected_ || height_ == 0) {
+    return "disconnect: nothing above genesis";
+  }
+  if (undo.height != height_ || undo.block_hash != tip_) {
+    return "disconnect: undo record does not match the tip";
+  }
+  for (const OutPoint& op : undo.created) utxos_.erase(op);
+  for (const auto& [op, out] : undo.spent) utxos_[op] = out;
+  for (const auto& [id, prior] : undo.sidechains) {
+    if (prior.has_value()) {
+      sidechains_[id] = *prior;
+    } else {
+      sidechains_.erase(id);
+    }
+  }
+  for (const Digest& key : undo.nullifier_keys) nullifiers_.erase(key);
+  block_hashes_.pop_back();
+  --height_;
+  tip_ = block_hashes_.back();
+  return "";
 }
 
 std::string ChainState::dry_run(const Block& block) const {
-  ChainState tmp = *this;
-  return tmp.apply(block);
-}
-
-std::string ChainState::finalize_epochs(std::uint64_t new_height) {
-  for (auto& [id, sc] : sidechains_) {
-    if (sc.ceased) continue;
-    const SidechainParams& p = sc.params;
-    // Does some epoch's certificate window end exactly at new_height?
-    // window_end(i) = start_block + (i+1)*epoch_len + submit_len.
-    if (new_height < p.start_block + p.epoch_len + p.submit_len) continue;
-    std::uint64_t offset = new_height - p.start_block - p.submit_len;
-    if (offset % p.epoch_len != 0) continue;
-    std::uint64_t epoch = offset / p.epoch_len - 1;
-
-    if (sc.pending_cert && sc.pending_cert_epoch == epoch) {
-      // Finalize the quality winner: create its BT payouts, debit the
-      // safeguard balance.
-      const WithdrawalCertificate& cert = *sc.pending_cert;
-      Amount total = cert.total_withdrawn();
-      if (total > sc.balance) {
-        return "finalize: certificate withdraws more than sidechain balance";
-      }
-      Digest cert_hash = cert.hash();
-      for (std::uint32_t i = 0; i < cert.bt_list.size(); ++i) {
-        utxos_[{cert_hash, i}] =
-            TxOutput{cert.bt_list[i].receiver, cert.bt_list[i].amount};
-      }
-      sc.balance -= total;
-      sc.last_finalized_epoch = epoch;
-      sc.pending_cert.reset();
-    } else {
-      // No certificate arrived in the window: the sidechain is ceased
-      // (Def 4.2) — permanently.
-      sc.ceased = true;
-      sc.pending_cert.reset();
-    }
-  }
-  return "";
-}
-
-std::string ChainState::apply_transaction(const Transaction& tx,
-                                          bool coinbase_slot, Amount* fees) {
-  if (coinbase_slot) {
-    if (!tx.is_coinbase) return "first transaction must be coinbase";
-    if (!tx.inputs.empty()) return "coinbase must have no inputs";
-    if (!tx.forward_transfers.empty()) {
-      return "coinbase cannot carry forward transfers";
-    }
-    if (tx.coinbase_height != height_ + 1) return "coinbase height mismatch";
-    // Value check is performed by the caller once fees are known.
-    Digest txid = tx.id();
-    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
-      utxos_[{txid, i}] = tx.outputs[i];
-    }
-    return "";
-  }
-
-  if (tx.is_coinbase) return "unexpected coinbase transaction";
-  if (tx.inputs.empty()) return "transaction has no inputs";
-
-  Digest signing = tx.signing_digest();
-  unsigned __int128 total_in = 0;
-  for (const TxInput& in : tx.inputs) {
-    const TxOutput* utxo = find_utxo(in.prevout);
-    if (utxo == nullptr) return "input spends unknown or spent output";
-    if (crypto::address_of(in.pubkey) != utxo->addr) {
-      return "input public key does not match output address";
-    }
-    if (!crypto::verify_signature(in.pubkey, signing, in.sig)) {
-      return "invalid input signature";
-    }
-    total_in += utxo->amount;
-  }
-
-  unsigned __int128 total_out = 0;
-  for (const TxOutput& o : tx.outputs) total_out += o.amount;
-  for (const ForwardTransferOutput& ft : tx.forward_transfers) {
-    if (ft.amount == 0) return "forward transfer of zero coins";
-    const SidechainStatus* sc = find_sidechain(ft.ledger_id);
-    if (sc == nullptr) return "forward transfer to unknown sidechain";
-    if (sc->ceased) return "forward transfer to ceased sidechain";
-    total_out += ft.amount;
-  }
-  if (total_in < total_out) return "transaction spends more than its inputs";
-
-  // Apply: consume inputs, create outputs, credit sidechain balances.
-  for (const TxInput& in : tx.inputs) utxos_.erase(in.prevout);
-  Digest txid = tx.id();
-  for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
-    utxos_[{txid, i}] = tx.outputs[i];
-  }
-  for (const ForwardTransferOutput& ft : tx.forward_transfers) {
-    sidechains_[ft.ledger_id].balance += ft.amount;
-  }
-  *fees += static_cast<Amount>(total_in - total_out);
-  return "";
-}
-
-std::string ChainState::apply_creation(const SidechainParams& sc,
-                                       std::uint64_t new_height) {
-  if (sidechains_.contains(sc.ledger_id)) {
-    return "sidechain id already registered";
-  }
-  if (sc.epoch_len == 0) return "sidechain epoch_len must be positive";
-  if (sc.submit_len == 0 || sc.submit_len > sc.epoch_len) {
-    return "sidechain submit_len must be in (0, epoch_len]";
-  }
-  if (sc.start_block <= new_height) {
-    return "sidechain start_block must be in the future";
-  }
-  SidechainStatus status;
-  status.params = sc;
-  status.created_at_height = new_height;
-  sidechains_[sc.ledger_id] = std::move(status);
-  return "";
-}
-
-std::string ChainState::apply_certificate(const WithdrawalCertificate& cert,
-                                          std::uint64_t new_height,
-                                          const Digest& block_hash) {
-  auto it = sidechains_.find(cert.ledger_id);
-  if (it == sidechains_.end()) return "certificate for unknown sidechain";
-  SidechainStatus& sc = it->second;
-  if (sc.ceased) return "certificate for ceased sidechain";
-  const SidechainParams& p = sc.params;
-  if (sc.params.wcert_vk.is_null()) {
-    return "sidechain has no certificate verification key";
-  }
-  if (cert.proofdata.size() != p.wcert_proofdata_len) {
-    return "certificate proofdata layout mismatch";
-  }
-  // Submission window (§4.1.2): cert for epoch i only within the first
-  // submit_len blocks of epoch i+1.
-  if (new_height < p.cert_window_begin(cert.epoch_id) ||
-      new_height >= p.cert_window_end(cert.epoch_id)) {
-    return "certificate outside its submission window";
-  }
-  // Quality rule: strictly higher than the incumbent; first-seen wins ties.
-  if (sc.pending_cert && sc.pending_cert_epoch == cert.epoch_id &&
-      cert.quality <= sc.pending_cert->quality) {
-    return "certificate quality not higher than incumbent";
-  }
-  // Safeguard pre-check (re-checked at finalization).
-  if (cert.total_withdrawn() > sc.balance) {
-    return "certificate withdraws more than sidechain balance";
-  }
-  // SNARK verification against the MC-enforced wcert_sysdata.
-  auto [prev_last, last] = epoch_boundary_hashes(p, cert.epoch_id);
-  snark::Statement st = wcert_statement_for(cert, prev_last, last);
-  if (!snark::PredicateSnark::verify(p.wcert_vk, st, cert.proof)) {
-    return "certificate SNARK proof invalid";
-  }
-  sc.pending_cert = cert;
-  sc.pending_cert_epoch = cert.epoch_id;
-  sc.pending_cert_block = block_hash;
-  // H(B_w) for BTR/CSW statements: "the MC block where the latest
-  // withdrawal certificate has been submitted" (Def 4.5) — updated at
-  // submission, not finalization.
-  sc.last_cert_block = block_hash;
-  return "";
-}
-
-std::string ChainState::apply_btr(const BtrRequest& btr) {
-  auto it = sidechains_.find(btr.ledger_id);
-  if (it == sidechains_.end()) return "BTR for unknown sidechain";
-  SidechainStatus& sc = it->second;
-  if (sc.ceased) return "BTR for ceased sidechain (use CSW)";
-  if (sc.params.btr_vk.is_null()) return "sidechain does not accept BTRs";
-  if (btr.proofdata.size() != sc.params.btr_proofdata_len) {
-    return "BTR proofdata layout mismatch";
-  }
-  if (nullifier_used(btr.ledger_id, btr.nullifier)) {
-    return "BTR nullifier already used";
-  }
-  snark::Statement st =
-      btr_statement(sc.last_cert_block, btr.nullifier, btr.receiver,
-                    btr.amount, btr.proofdata_root());
-  if (!snark::PredicateSnark::verify(sc.params.btr_vk, st, btr.proof)) {
-    return "BTR SNARK proof invalid";
-  }
-  nullifiers_.insert(nullifier_key(btr.ledger_id, btr.nullifier));
-  // No payment, no balance change: the BTR only obliges the sidechain
-  // (§4.1.2.1 — "the BTR does not lead to a direct coin transfer").
-  return "";
-}
-
-std::string ChainState::apply_csw(const CeasedSidechainWithdrawal& csw) {
-  auto it = sidechains_.find(csw.ledger_id);
-  if (it == sidechains_.end()) return "CSW for unknown sidechain";
-  SidechainStatus& sc = it->second;
-  if (!sc.ceased) return "CSW for active sidechain";
-  if (sc.params.csw_vk.is_null()) return "sidechain does not accept CSWs";
-  if (csw.proofdata.size() != sc.params.csw_proofdata_len) {
-    return "CSW proofdata layout mismatch";
-  }
-  if (nullifier_used(csw.ledger_id, csw.nullifier)) {
-    return "CSW nullifier already used";
-  }
-  if (csw.amount > sc.balance) {
-    return "CSW withdraws more than sidechain balance";
-  }
-  snark::Statement st =
-      csw_statement(sc.last_cert_block, csw.nullifier, csw.receiver,
-                    csw.amount, csw.proofdata_root());
-  if (!snark::PredicateSnark::verify(sc.params.csw_vk, st, csw.proof)) {
-    return "CSW SNARK proof invalid";
-  }
-  nullifiers_.insert(nullifier_key(csw.ledger_id, csw.nullifier));
-  sc.balance -= csw.amount;
-  // Direct payment (Def 4.6).
-  utxos_[{csw.hash(), 0}] = TxOutput{csw.receiver, csw.amount};
-  return "";
-}
-
-std::string ChainState::apply(const Block& block) {
-  const Digest block_hash = block.hash();
-
-  if (!genesis_connected_) {
-    if (block.header.height != 0) return "first block must be genesis";
-    if (!block.header.prev_hash.is_zero()) return "genesis must have no parent";
-    if (!block.transactions.empty() || !block.certificates.empty() ||
-        !block.btrs.empty() || !block.csws.empty() ||
-        !block.sidechain_creations.empty()) {
-      return "genesis block must be empty";
-    }
-    genesis_connected_ = true;
-    height_ = 0;
-    tip_ = block_hash;
-    block_hashes_ = {block_hash};
-    return "";
-  }
-
-  if (block.header.height != height_ + 1) return "block height mismatch";
-  if (block.header.prev_hash != tip_) return "block does not extend the tip";
-  if (block.header.tx_merkle_root != block.compute_tx_merkle_root()) {
-    return "tx merkle root mismatch";
-  }
-  // Only one certificate per sidechain per block, and the header must
-  // commit to all SC-related actions (§4.1.3).
-  try {
-    if (block.header.sc_txs_commitment != block.build_commitment_tree().root()) {
-      return "sidechain transactions commitment mismatch";
-    }
-  } catch (const std::logic_error&) {
-    return "multiple certificates for one sidechain in a block";
-  }
-
-  std::uint64_t new_height = height_ + 1;
-
-  // 1. Epoch bookkeeping triggered by reaching this height: finalize
-  //    certificate windows that close here; detect ceased sidechains.
-  if (std::string err = finalize_epochs(new_height); !err.empty()) return err;
-
-  // 2. Sidechain registrations (before FT processing so same-block FTs to
-  //    the new sidechain are valid).
-  for (const SidechainParams& sc : block.sidechain_creations) {
-    if (std::string err = apply_creation(sc, new_height); !err.empty()) {
-      return err;
-    }
-  }
-
-  // 3. Regular transactions (skipping the coinbase slot), accumulating fees.
-  if (block.transactions.empty()) return "block has no coinbase";
-  Amount fees = 0;
-  for (std::size_t i = 1; i < block.transactions.size(); ++i) {
-    if (std::string err =
-            apply_transaction(block.transactions[i], false, &fees);
-        !err.empty()) {
-      return err;
-    }
-  }
-
-  // 4. Coinbase: value bounded by subsidy + fees.
-  const Transaction& coinbase = block.transactions[0];
-  if (coinbase.total_output() > params_.block_subsidy + fees) {
-    return "coinbase exceeds subsidy plus fees";
-  }
-  if (std::string err = apply_transaction(coinbase, true, &fees);
-      !err.empty()) {
-    return err;
-  }
-
-  // 5. Withdrawal certificates.
-  for (const WithdrawalCertificate& cert : block.certificates) {
-    if (std::string err = apply_certificate(cert, new_height, block_hash);
-        !err.empty()) {
-      return err;
-    }
-  }
-
-  // 6. Backward transfer requests.
-  for (const BtrRequest& btr : block.btrs) {
-    if (std::string err = apply_btr(btr); !err.empty()) return err;
-  }
-
-  // 7. Ceased sidechain withdrawals.
-  for (const CeasedSidechainWithdrawal& csw : block.csws) {
-    if (std::string err = apply_csw(csw); !err.empty()) return err;
-  }
-
-  height_ = new_height;
-  tip_ = block_hash;
-  block_hashes_.push_back(block_hash);
-  return "";
+  if (!genesis_connected_) return check_genesis(block);
+  ReadOnlyView frozen(*this);
+  CacheView view(frozen);
+  return apply_block(view, params_, block);
 }
 
 // ---------------------------------------------------------------------------
@@ -437,34 +272,104 @@ std::string Blockchain::structural_check(const Block& block) const {
   return "";
 }
 
-std::vector<const Block*> Blockchain::branch_to(const Digest& tip) const {
-  std::vector<const Block*> branch;
+bool Blockchain::on_active_chain(const Digest& hash) const {
+  auto it = heights_.find(hash);
+  if (it == heights_.end()) return false;
+  return it->second <= state_.height() &&
+         state_.hash_at_height(it->second) == hash;
+}
+
+void Blockchain::push_undo(BlockUndo undo) {
+  undo_stack_.push_back(std::move(undo));
+  if (undo_stack_.size() > params_.max_reorg_depth) {
+    undo_stack_.pop_front();
+  }
+}
+
+Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
+  // Walk the candidate branch back to its fork point with the active
+  // chain: these are the only blocks a switch has to connect.
+  std::vector<const Block*> new_branch;  // tip first, reversed below
   Digest cur = tip;
-  while (true) {
+  while (!on_active_chain(cur)) {
     const Block* b = find_block(cur);
-    branch.push_back(b);
-    if (cur == genesis_hash_) break;
+    if (b == nullptr) {
+      throw std::logic_error("Blockchain: branch block missing");
+    }
+    new_branch.push_back(b);
     cur = b->header.prev_hash;
   }
-  std::reverse(branch.begin(), branch.end());
-  return branch;
+  std::reverse(new_branch.begin(), new_branch.end());
+  std::uint64_t fork_height = heights_.at(cur);
+  std::uint64_t depth = state_.height() - fork_height;
+
+  if (depth > params_.max_reorg_depth) {
+    return {false, false,
+            "reorg of depth " + std::to_string(depth) +
+                " exceeds max_reorg_depth",
+            0, 0};
+  }
+
+  // Remember the branch being abandoned so an invalid candidate can be
+  // rolled forward again.
+  std::vector<const Block*> old_branch;
+  old_branch.reserve(depth);
+  for (std::uint64_t h = fork_height + 1; h <= state_.height(); ++h) {
+    old_branch.push_back(find_block(state_.hash_at_height(h)));
+  }
+
+  auto disconnect_to_fork = [&] {
+    while (state_.height() > fork_height) {
+      if (std::string err = state_.disconnect_block(undo_stack_.back());
+          !err.empty()) {
+        throw std::logic_error("Blockchain: disconnect failed: " + err);
+      }
+      undo_stack_.pop_back();
+    }
+  };
+
+  disconnect_to_fork();
+  for (std::size_t i = 0; i < new_branch.size(); ++i) {
+    BlockUndo undo;
+    if (std::string err = state_.connect_block(*new_branch[i], &undo);
+        !err.empty()) {
+      // Candidate invalid mid-branch: unwind what connected and restore
+      // the old branch (which validated before, so this cannot fail).
+      disconnect_to_fork();
+      for (const Block* b : old_branch) {
+        BlockUndo redo;
+        if (std::string redo_err = state_.connect_block(*b, &redo);
+            !redo_err.empty()) {
+          throw std::logic_error("Blockchain: old branch reconnect failed: " +
+                                 redo_err);
+        }
+        push_undo(std::move(redo));
+      }
+      return {false, false, "reorg candidate invalid: " + err, 0, 0};
+    }
+    push_undo(std::move(undo));
+  }
+  return {true, depth > 0, "", depth,
+          static_cast<std::uint64_t>(new_branch.size())};
 }
 
 Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   Digest hash = block.hash();
-  if (blocks_.contains(hash)) return {false, false, "duplicate block"};
+  if (blocks_.contains(hash)) return {false, false, "duplicate block", 0, 0};
   if (std::string err = structural_check(block); !err.empty()) {
-    return {false, false, err};
+    return {false, false, err, 0, 0};
   }
 
   if (block.header.prev_hash == state_.tip_hash()) {
     // Fast path: extends the active tip.
-    if (std::string err = state_.connect_block(block); !err.empty()) {
-      return {false, false, err};
+    BlockUndo undo;
+    if (std::string err = state_.connect_block(block, &undo); !err.empty()) {
+      return {false, false, err, 0, 0};
     }
+    push_undo(std::move(undo));
     heights_[hash] = block.header.height;
     blocks_.emplace(hash, block);
-    return {true, false, ""};
+    return {true, false, "", 0, 1};
   }
 
   // Side branch. Store it; switch only if it becomes strictly longer than
@@ -472,20 +377,15 @@ Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   heights_[hash] = block.header.height;
   blocks_.emplace(hash, block);
   if (block.header.height <= state_.height()) {
-    return {true, false, ""};
+    return {true, false, "", 0, 0};
   }
 
-  // Attempt reorg: replay the whole candidate branch from genesis.
-  ChainState candidate(params_);
-  for (const Block* b : branch_to(hash)) {
-    if (std::string err = candidate.connect_block(*b); !err.empty()) {
-      blocks_.erase(hash);
-      heights_.erase(hash);
-      return {false, false, "reorg candidate invalid: " + err};
-    }
+  SubmitResult result = activate_branch(hash);
+  if (!result.accepted) {
+    blocks_.erase(hash);
+    heights_.erase(hash);
   }
-  state_ = std::move(candidate);
-  return {true, true, ""};
+  return result;
 }
 
 }  // namespace zendoo::mainchain

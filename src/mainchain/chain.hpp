@@ -6,13 +6,18 @@
 // and certificate quality selection (§4.1.2), ceased-sidechain detection
 // (Def 4.2), nullifier tracking and BTR/CSW processing (§4.1.2.1).
 //
-// Blockchain layers Nakamoto fork choice on top: blocks form a tree, the
-// branch with the greatest height (first-seen tiebreak) is active, and a
-// reorg replays the new branch from genesis — simple, and exactly the
-// observable behaviour sidechains must cope with (§5.1 "Mainchain forks
-// resolution").
+// ChainState is the backing store of the view stack declared in view.hpp:
+// connect_block validates into a CacheView overlay (no full-state copy),
+// flushes it on success and emits a BlockUndo; disconnect_block rolls the
+// tip back in O(delta) from that record. Blockchain layers Nakamoto fork
+// choice on top: blocks form a tree, the branch with the greatest height
+// (first-seen tiebreak) is active, and a reorg walks back to the fork
+// point via undo data and connects only the new branch — the observable
+// behaviour sidechains must cope with (§5.1 "Mainchain forks
+// resolution"), bounded by ChainParams::max_reorg_depth.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <string>
@@ -20,67 +25,49 @@
 #include <unordered_set>
 #include <vector>
 
-#include "mainchain/block.hpp"
+#include "mainchain/view.hpp"
 
 namespace zendoo::mainchain {
 
-/// Live state of one registered sidechain as tracked by the mainchain.
-struct SidechainStatus {
-  SidechainParams params;
-  std::uint64_t created_at_height = 0;
-  /// Safeguard balance (§4.1.2.2): FTs credit, finalized WCerts and CSWs
-  /// debit; never exceeded by withdrawals.
-  Amount balance = 0;
-  /// Permanently set when a certificate submission window elapses with no
-  /// accepted certificate (Def 4.2).
-  bool ceased = false;
-
-  /// Best (highest-quality) certificate currently inside its submission
-  /// window, if any, and the epoch it certifies.
-  std::optional<WithdrawalCertificate> pending_cert;
-  std::uint64_t pending_cert_epoch = 0;
-  /// Hash of the MC block that contained the pending certificate.
-  Digest pending_cert_block;
-
-  /// Last epoch whose certificate was finalized (payouts created).
-  std::optional<std::uint64_t> last_finalized_epoch;
-  /// H(B_w): hash of the MC block containing the latest finalized
-  /// certificate — the anchor of BTR/CSW statements (Def 4.5).
-  Digest last_cert_block;
-};
-
-/// The replayable mainchain state machine.
-class ChainState {
+/// The replayable mainchain state machine (backing store of the view
+/// stack).
+class ChainState final : public StateView {
  public:
   explicit ChainState(ChainParams params);
 
   /// Validates `block` against the current state and applies it.
   /// Returns an empty string on success, otherwise a diagnostic and the
-  /// state is left unchanged (strong exception-safety via copy-validate).
-  [[nodiscard]] std::string connect_block(const Block& block);
+  /// state is left unchanged (validation runs in a discardable overlay).
+  /// When `undo` is non-null it receives the record disconnect_block
+  /// needs to roll this block back.
+  [[nodiscard]] std::string connect_block(const Block& block,
+                                          BlockUndo* undo = nullptr);
 
-  /// Validation-only variant: same checks as connect_block, no mutation.
+  /// Rolls the tip block back using its undo record. Returns "" or a
+  /// diagnostic (undo not matching the tip); the state is unchanged on
+  /// error.
+  [[nodiscard]] std::string disconnect_block(const BlockUndo& undo);
+
+  /// Validation-only variant: same checks as connect_block, no mutation
+  /// (runs in a discard-on-drop overlay over a read-only view).
   [[nodiscard]] std::string dry_run(const Block& block) const;
 
-  // ---- Queries ----
-  [[nodiscard]] std::uint64_t height() const { return height_; }
-  [[nodiscard]] const Digest& tip_hash() const { return tip_; }
-  [[nodiscard]] const TxOutput* find_utxo(const OutPoint& op) const;
+  // ---- StateView ----
+  [[nodiscard]] std::uint64_t height() const override { return height_; }
+  [[nodiscard]] Digest tip_hash() const override { return tip_; }
+  [[nodiscard]] const TxOutput* find_utxo(const OutPoint& op) const override;
   [[nodiscard]] const SidechainStatus* find_sidechain(
-      const SidechainId& id) const;
-  [[nodiscard]] bool nullifier_used(const SidechainId& id,
-                                    const Digest& nullifier) const;
-  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const;
+      const SidechainId& id) const override;
+  [[nodiscard]] bool nullifier_key_used(const Digest& key) const override;
+  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const override;
+  [[nodiscard]] std::vector<SidechainId> sidechain_ids() const override;
+
+  // ---- Queries ----
   [[nodiscard]] std::size_t utxo_count() const { return utxos_.size(); }
   [[nodiscard]] const std::map<SidechainId, SidechainStatus>& sidechains()
       const {
     return sidechains_;
   }
-
-  /// Epoch-boundary block hashes (H(B_{epoch-1,last}), H(B_{epoch,last}))
-  /// used in wcert_sysdata; both heights must already exist.
-  [[nodiscard]] std::pair<Digest, Digest> epoch_boundary_hashes(
-      const SidechainParams& params, std::uint64_t epoch) const;
 
   /// Total value of UTXOs owned by `addr` (test/wallet convenience).
   [[nodiscard]] Amount balance_of(const Address& addr) const;
@@ -88,23 +75,22 @@ class ChainState {
   [[nodiscard]] std::vector<std::pair<OutPoint, TxOutput>> utxos_of(
       const Address& addr) const;
 
+  /// Order-independent digest of the complete state (UTXO set, sidechain
+  /// statuses, nullifiers, active chain). Two states with equal
+  /// fingerprints are equal — the hook for differential reorg tests.
+  [[nodiscard]] Digest state_fingerprint() const;
+
  private:
-  std::string apply(const Block& block);  // shared by connect/dry_run
-  std::string finalize_epochs(std::uint64_t new_height);
-  std::string apply_transaction(const Transaction& tx, bool coinbase_slot,
-                                Amount* fees);
-  std::string apply_creation(const SidechainParams& sc,
-                             std::uint64_t new_height);
-  std::string apply_certificate(const WithdrawalCertificate& cert,
-                                std::uint64_t new_height,
-                                const Digest& block_hash);
-  std::string apply_btr(const BtrRequest& btr);
-  std::string apply_csw(const CeasedSidechainWithdrawal& csw);
+  /// Applies the dirty entries of a validated overlay plus the new tip.
+  void flush(const CacheView& view, const Block& block);
+  /// Builds the undo record for a validated overlay.
+  [[nodiscard]] BlockUndo build_undo(const CacheView& view,
+                                     const Block& block) const;
 
   ChainParams params_;
   std::unordered_map<OutPoint, TxOutput, OutPointHash> utxos_;
   std::map<SidechainId, SidechainStatus> sidechains_;
-  /// Used nullifiers per sidechain.
+  /// Used nullifiers per sidechain (keyed by nullifier_key).
   std::unordered_set<Digest, crypto::DigestHash> nullifiers_;
   /// Active-chain block hash per height.
   std::vector<Digest> block_hashes_;
@@ -122,15 +108,20 @@ class Blockchain {
     bool accepted = false;   ///< block stored (may or may not be active)
     bool reorged = false;    ///< fork choice switched branches
     std::string error;       ///< non-empty iff rejected
+    std::uint64_t disconnected = 0;  ///< blocks rolled back by a reorg
+    std::uint64_t connected = 0;     ///< blocks applied (1 on the fast path)
   };
 
   /// Validate and store a block; extends the tree and may switch the
-  /// active branch (longest chain, first-seen tiebreak).
+  /// active branch (longest chain, first-seen tiebreak). A branch switch
+  /// disconnects back to the fork point via undo records and connects
+  /// only the new branch — O(depth), not O(chain length). Overtaking
+  /// branches forking deeper than max_reorg_depth are rejected.
   SubmitResult submit_block(const Block& block);
 
   [[nodiscard]] const ChainState& state() const { return state_; }
   [[nodiscard]] std::uint64_t height() const { return state_.height(); }
-  [[nodiscard]] const Digest& tip_hash() const { return state_.tip_hash(); }
+  [[nodiscard]] Digest tip_hash() const { return state_.tip_hash(); }
   [[nodiscard]] const Block* find_block(const Digest& hash) const;
   [[nodiscard]] const Block& genesis() const;
   [[nodiscard]] const ChainParams& params() const { return params_; }
@@ -142,14 +133,23 @@ class Blockchain {
   [[nodiscard]] std::vector<Digest> active_chain() const;
 
  private:
-  [[nodiscard]] std::vector<const Block*> branch_to(const Digest& tip) const;
   [[nodiscard]] std::string structural_check(const Block& block) const;
+  [[nodiscard]] bool on_active_chain(const Digest& hash) const;
+  void push_undo(BlockUndo undo);
+  /// Switches the active branch to the stored block `tip`. Expects `tip`
+  /// to be strictly higher than the current tip.
+  SubmitResult activate_branch(const Digest& tip);
 
   ChainParams params_;
   std::unordered_map<Digest, Block, crypto::DigestHash> blocks_;
   std::unordered_map<Digest, std::uint64_t, crypto::DigestHash> heights_;
   Digest genesis_hash_;
   ChainState state_;
+  /// Undo records for the most recent active blocks, oldest first; the
+  /// back rolls back the tip. Trimmed to max_reorg_depth entries —
+  /// deeper records could never be consumed, since activate_branch
+  /// rejects deeper reorgs.
+  std::deque<BlockUndo> undo_stack_;
 };
 
 }  // namespace zendoo::mainchain

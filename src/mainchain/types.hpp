@@ -41,7 +41,17 @@ struct OutPoint {
 
 struct OutPointHash {
   std::size_t operator()(const OutPoint& o) const {
-    return crypto::DigestHash{}(o.txid) * 1000003u + o.index;
+    // splitmix64 finalizer over (txid hash ^ index): mixes the index into
+    // every output bit, so outpoints of one transaction don't cluster
+    // into adjacent buckets.
+    std::uint64_t x = static_cast<std::uint64_t>(crypto::DigestHash{}(o.txid));
+    x ^= static_cast<std::uint64_t>(o.index) + 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
   }
 };
 

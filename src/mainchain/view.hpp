@@ -1,0 +1,215 @@
+// Layered state views over the mainchain state machine.
+//
+// The paper's §5.1 makes mainchain reorgs an observable behaviour
+// sidechains must handle, so connecting, dry-running and disconnecting
+// blocks are all first-class operations. Instead of copying the whole
+// state per block (copy-validate), block application goes through a
+// view stack, following the CCoinsView layering of the reference
+// implementation lineage:
+//
+//   * StateView       — read interface (UTXO, sidechain status, nullifier
+//                       and active-chain lookups). ChainState implements
+//                       it as the backing store.
+//   * ReadOnlyView    — delegating adapter that exposes any StateView
+//                       without write access; dry_run stacks a CacheView
+//                       on top of it so validation can never touch the
+//                       backing store.
+//   * CacheView       — copy-on-write overlay: reads fall through to the
+//                       base, writes land in dirty-entry maps. connect
+//                       flushes the overlay in one batch; dry_run drops
+//                       it.
+//
+// Connecting a block also emits a BlockUndo record — the exact delta
+// needed to roll the tip back in O(delta): spent outputs, created
+// outpoints, prior per-sidechain status, added nullifiers. Fork choice
+// walks back to the fork point via these records instead of replaying the
+// chain from genesis.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mainchain/block.hpp"
+
+namespace zendoo::mainchain {
+
+/// Live state of one registered sidechain as tracked by the mainchain.
+struct SidechainStatus {
+  SidechainParams params;
+  std::uint64_t created_at_height = 0;
+  /// Safeguard balance (§4.1.2.2): FTs credit, finalized WCerts and CSWs
+  /// debit; never exceeded by withdrawals.
+  Amount balance = 0;
+  /// Permanently set when a certificate submission window elapses with no
+  /// accepted certificate (Def 4.2).
+  bool ceased = false;
+
+  /// Best (highest-quality) certificate currently inside its submission
+  /// window, if any, and the epoch it certifies.
+  std::optional<WithdrawalCertificate> pending_cert;
+  std::uint64_t pending_cert_epoch = 0;
+  /// Hash of the MC block that contained the pending certificate.
+  Digest pending_cert_block;
+
+  /// Last epoch whose certificate was finalized (payouts created).
+  std::optional<std::uint64_t> last_finalized_epoch;
+  /// H(B_w): hash of the MC block containing the latest finalized
+  /// certificate — the anchor of BTR/CSW statements (Def 4.5).
+  Digest last_cert_block;
+};
+
+/// Domain-separated storage key of a (sidechain, nullifier) pair.
+[[nodiscard]] Digest nullifier_key(const SidechainId& id,
+                                   const Digest& nullifier);
+
+/// Read interface over the mainchain state machine.
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  [[nodiscard]] virtual const TxOutput* find_utxo(const OutPoint& op) const = 0;
+  [[nodiscard]] virtual const SidechainStatus* find_sidechain(
+      const SidechainId& id) const = 0;
+  [[nodiscard]] virtual bool nullifier_key_used(const Digest& key) const = 0;
+  /// Height of the connected tip.
+  [[nodiscard]] virtual std::uint64_t height() const = 0;
+  [[nodiscard]] virtual Digest tip_hash() const = 0;
+  /// Active-chain block hash at `h` (zero digest above the tip).
+  [[nodiscard]] virtual Digest hash_at_height(std::uint64_t h) const = 0;
+  /// Ids of every registered sidechain, in SidechainId order.
+  [[nodiscard]] virtual std::vector<SidechainId> sidechain_ids() const = 0;
+
+  [[nodiscard]] bool nullifier_used(const SidechainId& id,
+                                    const Digest& nullifier) const {
+    return nullifier_key_used(nullifier_key(id, nullifier));
+  }
+
+  /// Epoch-boundary block hashes (H(B_{epoch-1,last}), H(B_{epoch,last}))
+  /// used in wcert_sysdata; both heights must already exist.
+  [[nodiscard]] std::pair<Digest, Digest> epoch_boundary_hashes(
+      const SidechainParams& params, std::uint64_t epoch) const;
+};
+
+/// Write extension used by block application.
+class WriteView : public StateView {
+ public:
+  virtual void add_utxo(const OutPoint& op, const TxOutput& out) = 0;
+  virtual void spend_utxo(const OutPoint& op) = 0;
+  /// Mutable status entry for `id`, created empty when not yet registered.
+  virtual SidechainStatus& sidechain_for_update(const SidechainId& id) = 0;
+  virtual void add_nullifier_key(const Digest& key) = 0;
+
+  void add_nullifier(const SidechainId& id, const Digest& nullifier) {
+    add_nullifier_key(nullifier_key(id, nullifier));
+  }
+};
+
+/// Read-only adapter: exposes `base` while statically ruling out writes.
+class ReadOnlyView final : public StateView {
+ public:
+  explicit ReadOnlyView(const StateView& base) : base_(base) {}
+
+  [[nodiscard]] const TxOutput* find_utxo(const OutPoint& op) const override {
+    return base_.find_utxo(op);
+  }
+  [[nodiscard]] const SidechainStatus* find_sidechain(
+      const SidechainId& id) const override {
+    return base_.find_sidechain(id);
+  }
+  [[nodiscard]] bool nullifier_key_used(const Digest& key) const override {
+    return base_.nullifier_key_used(key);
+  }
+  [[nodiscard]] std::uint64_t height() const override { return base_.height(); }
+  [[nodiscard]] Digest tip_hash() const override { return base_.tip_hash(); }
+  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const override {
+    return base_.hash_at_height(h);
+  }
+  [[nodiscard]] std::vector<SidechainId> sidechain_ids() const override {
+    return base_.sidechain_ids();
+  }
+
+ private:
+  const StateView& base_;
+};
+
+/// Copy-on-write overlay over a base view. Reads consult the dirty-entry
+/// maps first and fall through to the base; writes only ever touch the
+/// overlay. Dropping the overlay discards every change (dry_run);
+/// ChainState::connect_block flushes it in one batch.
+class CacheView final : public WriteView {
+ public:
+  explicit CacheView(const StateView& base) : base_(base) {}
+
+  // ---- StateView ----
+  [[nodiscard]] const TxOutput* find_utxo(const OutPoint& op) const override;
+  [[nodiscard]] const SidechainStatus* find_sidechain(
+      const SidechainId& id) const override;
+  [[nodiscard]] bool nullifier_key_used(const Digest& key) const override;
+  [[nodiscard]] std::uint64_t height() const override { return base_.height(); }
+  [[nodiscard]] Digest tip_hash() const override { return base_.tip_hash(); }
+  [[nodiscard]] Digest hash_at_height(std::uint64_t h) const override {
+    return base_.hash_at_height(h);
+  }
+  [[nodiscard]] std::vector<SidechainId> sidechain_ids() const override;
+
+  // ---- WriteView ----
+  void add_utxo(const OutPoint& op, const TxOutput& out) override;
+  void spend_utxo(const OutPoint& op) override;
+  SidechainStatus& sidechain_for_update(const SidechainId& id) override;
+  void add_nullifier_key(const Digest& key) override;
+
+  // ---- Dirty-entry introspection (flush / undo construction) ----
+  /// UTXO delta: value = new output, nullopt = spent.
+  [[nodiscard]] const std::unordered_map<OutPoint, std::optional<TxOutput>,
+                                         OutPointHash>&
+  utxo_entries() const {
+    return utxos_;
+  }
+  [[nodiscard]] const std::map<SidechainId, SidechainStatus>&
+  sidechain_entries() const {
+    return sidechains_;
+  }
+  [[nodiscard]] const std::unordered_set<Digest, crypto::DigestHash>&
+  nullifier_entries() const {
+    return nullifiers_;
+  }
+  [[nodiscard]] const StateView& base() const { return base_; }
+
+ private:
+  const StateView& base_;
+  std::unordered_map<OutPoint, std::optional<TxOutput>, OutPointHash> utxos_;
+  std::map<SidechainId, SidechainStatus> sidechains_;
+  std::unordered_set<Digest, crypto::DigestHash> nullifiers_;
+};
+
+/// Per-block undo record (the delta connect produced), enough to roll the
+/// tip back in O(delta).
+struct BlockUndo {
+  Digest block_hash;        ///< block this record undoes
+  std::uint64_t height = 0; ///< its height
+  /// Outputs consumed by the block (restored on disconnect).
+  std::vector<std::pair<OutPoint, TxOutput>> spent;
+  /// Outpoints created by the block (erased on disconnect).
+  std::vector<OutPoint> created;
+  /// Prior status of every sidechain the block touched; nullopt when the
+  /// sidechain was first registered in this block (erased on disconnect).
+  std::vector<std::pair<SidechainId, std::optional<SidechainStatus>>>
+      sidechains;
+  /// Nullifier keys the block added (erased on disconnect).
+  std::vector<Digest> nullifier_keys;
+};
+
+/// Validates `block` on top of `view` and applies its effects into the
+/// view. Shared by connect_block (which flushes the overlay) and dry_run
+/// (which discards it). Expects a non-genesis block; returns "" or a
+/// diagnostic, in which case the overlay may hold partial writes and must
+/// be discarded.
+[[nodiscard]] std::string apply_block(WriteView& view,
+                                      const ChainParams& params,
+                                      const Block& block);
+
+}  // namespace zendoo::mainchain

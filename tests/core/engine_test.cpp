@@ -362,5 +362,122 @@ TEST_F(EngineTest, ReorgResyncFollowsActiveChain) {
   EXPECT_EQ(fresh.state().balance_of(alice_.address()), 0u);
 }
 
+/// Hand-built empty rival block for reorg tests.
+mainchain::Block rival_block(const Engine& engine, const Digest& prev,
+                             std::uint64_t height,
+                             const mainchain::Address& addr) {
+  mainchain::Block blk;
+  blk.header.prev_hash = prev;
+  blk.header.height = height;
+  mainchain::Transaction cb;
+  cb.is_coinbase = true;
+  cb.coinbase_height = height;
+  cb.outputs.push_back(
+      mainchain::TxOutput{addr, engine.mc().params().block_subsidy});
+  blk.transactions.push_back(std::move(cb));
+  blk.header.tx_merkle_root = blk.compute_tx_merkle_root();
+  blk.header.sc_txs_commitment = blk.build_commitment_tree().root();
+  mainchain::Miner::solve_pow(blk, engine.mc().params().pow_target);
+  return blk;
+}
+
+TEST_F(EngineTest, DeepReorgResyncRollsBackToCheckpoint) {
+  // Fork above a node checkpoint (interval 8): the resync restores the
+  // checkpoint and replays only from there instead of rebuilding the
+  // node. Long epochs keep certificate/ceasing machinery out of the way.
+  sc_id_ = hash_str(Domain::kGeneric, "sc-deep-reorg");
+  LatusNode& node = engine_.add_latus_sidechain(
+      sc_id_, /*start_block=*/2, /*epoch_len=*/40, /*submit_len=*/20,
+      {alice_}, /*mst_depth=*/10, /*slots_per_epoch=*/8);
+  LatusNode* node_before = &node;
+
+  run_to_height(2);
+  engine_.queue_forward_transfer(sc_id_, alice_.address(),
+                                 miner_key_.address(), 700);
+  run_to_height(10);  // FT at height 3; checkpoint taken at height 8
+  engine_.queue_forward_transfer(sc_id_, alice_.address(),
+                                 miner_key_.address(), 9'000);
+  run_to_height(12);  // second FT at height 11 — orphaned by the reorg
+  ASSERT_EQ(node.state().balance_of(alice_.address()), 9'700u);
+
+  // Rival empty branch forking at height 10, overtaking at 13.
+  Digest prev = engine_.mc().hash_at_height(10);
+  for (std::uint64_t h = 11; h <= 13; ++h) {
+    mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
+    prev = blk.hash();
+    auto result = engine_.mc().submit_block(blk);
+    ASSERT_TRUE(result.accepted) << result.error;
+  }
+  ASSERT_EQ(engine_.mc().height(), 13u);
+
+  engine_.resync_sidechains_after_reorg();
+  LatusNode& resynced = engine_.sidechain(sc_id_);
+  // Checkpoint path: the node object was rolled back in place, not
+  // replaced.
+  EXPECT_EQ(&resynced, node_before);
+  EXPECT_EQ(resynced.last_observed_mc_height(),
+            std::optional<std::uint64_t>(13));
+  // FT at height 3 (shared prefix) survives; FT at height 11 is gone.
+  EXPECT_EQ(resynced.state().balance_of(alice_.address()), 700u);
+  EXPECT_EQ(engine_.mc().state().find_sidechain(sc_id_)->balance, 700u);
+
+  // The engine keeps running on the new branch.
+  engine_.step();
+  EXPECT_EQ(engine_.mc().height(), 14u);
+}
+
+TEST_F(EngineTest, ResyncHonoursDisabledAutoCertificates) {
+  // A halted sidechain (auto certificates off, the Def 4.2 ceasing
+  // scenario) must stay halted through a reorg resync: the replay loop
+  // must not sneak its certificates back into the MC mempool.
+  standard_sidechain("sc-halted");
+  engine_.set_auto_certificates(sc_id_, false);
+  run_to_height(6);  // epoch 0 (heights 2..5) completed, cert withheld
+  ASSERT_TRUE(engine_.mempool().certificates.empty());
+
+  Digest prev = engine_.mc().hash_at_height(5);
+  for (std::uint64_t h = 6; h <= 7; ++h) {
+    mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
+    prev = blk.hash();
+    auto result = engine_.mc().submit_block(blk);
+    ASSERT_TRUE(result.accepted) << result.error;
+  }
+  engine_.resync_sidechains_after_reorg();
+  EXPECT_TRUE(engine_.mempool().certificates.empty());
+}
+
+TEST_F(EngineTest, ReorgBelowOldestCheckpointRebuildsNode) {
+  // Fork below every retained checkpoint: resync falls back to a full
+  // rebuild and still lands on the correct state.
+  sc_id_ = hash_str(Domain::kGeneric, "sc-rebuild");
+  engine_.add_latus_sidechain(sc_id_, /*start_block=*/2, /*epoch_len=*/40,
+                              /*submit_len=*/20, {alice_}, /*mst_depth=*/10,
+                              /*slots_per_epoch=*/8);
+  run_to_height(2);
+  engine_.queue_forward_transfer(sc_id_, alice_.address(),
+                                 miner_key_.address(), 700);
+  run_to_height(6);  // FT at height 3; no checkpoint yet (first is at 8)
+
+  // Rival branch forking at height 2 — below any checkpoint.
+  Digest prev = engine_.mc().hash_at_height(2);
+  for (std::uint64_t h = 3; h <= 7; ++h) {
+    mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
+    prev = blk.hash();
+    auto result = engine_.mc().submit_block(blk);
+    ASSERT_TRUE(result.accepted) << result.error;
+  }
+  ASSERT_EQ(engine_.mc().height(), 7u);
+
+  engine_.resync_sidechains_after_reorg();
+  LatusNode& resynced = engine_.sidechain(sc_id_);
+  EXPECT_EQ(resynced.last_observed_mc_height(),
+            std::optional<std::uint64_t>(7));
+  // The FT was above the fork: gone on the new branch.
+  EXPECT_EQ(resynced.state().balance_of(alice_.address()), 0u);
+  EXPECT_EQ(engine_.mc().state().find_sidechain(sc_id_)->balance, 0u);
+  engine_.step();
+  EXPECT_EQ(engine_.mc().height(), 8u);
+}
+
 }  // namespace
 }  // namespace zendoo::core

@@ -169,6 +169,28 @@ TEST_F(MainchainTest, DoubleSpendWithinBlockRejected) {
   EXPECT_FALSE(result.accepted);
 }
 
+TEST_F(MainchainTest, DuplicateInputWithinTransactionRejected) {
+  miner_.mine_empty(1);
+  // One coin listed twice as input, outputs claiming double its value:
+  // the duplicate must be rejected, not counted twice (coin inflation).
+  auto coins = chain_.state().utxos_of(alice_.address());
+  ASSERT_FALSE(coins.empty());
+  Transaction tx;
+  tx.inputs.push_back(TxInput{coins[0].first, {}, {}});
+  tx.inputs.push_back(TxInput{coins[0].first, {}, {}});
+  tx.outputs.push_back(
+      TxOutput{bob_.address(), 2 * coins[0].second.amount});
+  tx = sign_all_inputs(std::move(tx), alice_);
+  Block block = miner_.build_block({});
+  block.transactions.push_back(tx);
+  block.header.tx_merkle_root = block.compute_tx_merkle_root();
+  block.header.sc_txs_commitment = block.build_commitment_tree().root();
+  Miner::solve_pow(block, chain_.params().pow_target);
+  auto result = chain_.submit_block(block);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_NE(result.error.find("same output twice"), std::string::npos);
+}
+
 TEST_F(MainchainTest, MempoolDropsConflictingSecondSpend) {
   miner_.mine_empty(1);
   Mempool pool;

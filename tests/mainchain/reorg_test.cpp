@@ -1,0 +1,333 @@
+// Deep-reorg behaviour of the undo-based fork choice (§5.1 "Mainchain
+// forks resolution"): differential equivalence against a from-genesis
+// replay, max_reorg_depth enforcement, and sidechain lifecycle state
+// (ceasing, certificate finalization, nullifiers) across reorg
+// boundaries.
+#include <gtest/gtest.h>
+
+#include "mainchain/miner.hpp"
+
+namespace zendoo::mainchain {
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::hash_str;
+using crypto::KeyPair;
+using SubmitResult = Blockchain::SubmitResult;
+
+/// Replays the active chain of `chain` from genesis into a fresh
+/// ChainState and returns its fingerprint — the reference an undo-based
+/// reorg must reproduce exactly.
+Digest replay_fingerprint(const Blockchain& chain) {
+  ChainState reference(chain.params());
+  for (std::uint64_t h = 0; h <= chain.height(); ++h) {
+    const Block* b = chain.find_block(chain.hash_at_height(h));
+    EXPECT_NE(b, nullptr);
+    EXPECT_EQ(reference.connect_block(*b), "");
+  }
+  return reference.state_fingerprint();
+}
+
+class ReorgTest : public ::testing::Test {
+ protected:
+  ReorgTest()
+      : alice_(KeyPair::from_seed(hash_str(Domain::kGeneric, "alice"))),
+        bob_(KeyPair::from_seed(hash_str(Domain::kGeneric, "bob"))) {
+    auto circuit = [](const snark::Statement&, const snark::Witness& w) {
+      const auto* pass = std::any_cast<std::string>(&w);
+      return pass != nullptr && *pass == "authority";
+    };
+    auto [pk, vk] = snark::PredicateSnark::setup(circuit, "reorg-authority");
+    pk_ = pk;
+    vk_ = vk;
+  }
+
+  SidechainParams make_sc_params(std::uint64_t start, std::uint64_t epoch_len,
+                                 std::uint64_t submit_len,
+                                 const std::string& name) {
+    SidechainParams p;
+    p.ledger_id = hash_str(Domain::kGeneric, name);
+    p.start_block = start;
+    p.epoch_len = epoch_len;
+    p.submit_len = submit_len;
+    p.wcert_vk = vk_;
+    p.btr_vk = vk_;
+    p.csw_vk = vk_;
+    return p;
+  }
+
+  WithdrawalCertificate make_cert(const Blockchain& chain,
+                                  const SidechainParams& p,
+                                  std::uint64_t epoch, std::uint64_t quality,
+                                  std::vector<BackwardTransfer> bts) {
+    WithdrawalCertificate cert;
+    cert.ledger_id = p.ledger_id;
+    cert.epoch_id = epoch;
+    cert.quality = quality;
+    cert.bt_list = std::move(bts);
+    auto [prev_last, last] = chain.state().epoch_boundary_hashes(p, epoch);
+    auto st = wcert_statement_for(cert, prev_last, last);
+    cert.proof =
+        *snark::PredicateSnark::prove(pk_, st, std::string("authority"));
+    return cert;
+  }
+
+  /// Hand-built block on top of `prev`: coinbase to `miner_addr`, plus an
+  /// optional certificate and a salt making sibling blocks distinct.
+  Block make_branch_block(const Blockchain& chain, const Digest& prev,
+                          std::uint64_t height, const Address& miner_addr,
+                          std::optional<WithdrawalCertificate> cert = {},
+                          std::uint32_t salt = 0) {
+    Block b;
+    b.header.prev_hash = prev;
+    b.header.height = height;
+    Transaction cb;
+    cb.is_coinbase = true;
+    cb.coinbase_height = height;
+    cb.outputs.push_back(
+        TxOutput{miner_addr, chain.params().block_subsidy});
+    if (salt != 0) {
+      cb.outputs.push_back(TxOutput{hash_str(Domain::kGeneric,
+                                             "salt-" + std::to_string(salt)),
+                                    0});
+    }
+    b.transactions.push_back(std::move(cb));
+    if (cert) b.certificates.push_back(std::move(*cert));
+    b.header.tx_merkle_root = b.compute_tx_merkle_root();
+    b.header.sc_txs_commitment = b.build_commitment_tree().root();
+    Miner::solve_pow(b, chain.params().pow_target);
+    return b;
+  }
+
+  KeyPair alice_, bob_;
+  snark::ProvingKey pk_;
+  snark::VerifyingKey vk_;
+};
+
+// A fork of depth d from a chain of length L must leave the state exactly
+// equal to replaying the winning branch from genesis — across payment,
+// forward-transfer, certificate and ceasing activity on the losing
+// branch.
+TEST_F(ReorgTest, DifferentialAgainstFromGenesisReplay) {
+  constexpr std::uint64_t kLength = 24;
+  for (std::uint64_t depth : {1u, 4u, 9u, 16u, 23u}) {
+    Blockchain chain{ChainParams{}};
+    Wallet wallet(alice_);
+    Miner miner(chain, alice_.address());
+
+    // Trunk with sidechain activity: registration at 1, FT at 3, a
+    // certificate in epoch 0's window, then plain payments; a second
+    // sidechain that ceases on the trunk.
+    auto p = make_sc_params(2, 5, 3, "diff-sc");
+    auto doomed = make_sc_params(2, 4, 2, "diff-doomed");
+    {
+      Mempool pool;
+      pool.sidechain_creations.push_back(p);
+      pool.sidechain_creations.push_back(doomed);
+      ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+    }
+    while (chain.height() < kLength) {
+      Mempool pool;
+      if (chain.height() + 1 == 3) {
+        pool.transactions.push_back(*wallet.forward_transfer(
+            chain.state(), p.ledger_id,
+            std::vector<Digest>{hash_str(Domain::kGeneric, "r")}, 1'000'000));
+      } else if (chain.height() + 1 == p.cert_window_begin(0)) {
+        pool.certificates.push_back(make_cert(
+            chain, p, 0, 1, {BackwardTransfer{bob_.address(), 100}}));
+      } else if (chain.height() % 3 == 0) {
+        auto tx = wallet.pay(chain.state(), bob_.address(), 1'000);
+        if (tx) pool.transactions.push_back(std::move(*tx));
+      }
+      ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+    }
+
+    // Rival branch: depth+1 empty blocks from (kLength - depth).
+    std::uint64_t fork_height = kLength - depth;
+    Digest prev = chain.hash_at_height(fork_height);
+    SubmitResult last{};
+    for (std::uint64_t h = fork_height + 1; h <= kLength + 1; ++h) {
+      Block b = make_branch_block(chain, prev, h, bob_.address(), {},
+                                  /*salt=*/static_cast<std::uint32_t>(depth));
+      prev = b.hash();
+      last = chain.submit_block(b);
+      ASSERT_TRUE(last.accepted) << "depth " << depth << ": " << last.error;
+    }
+    ASSERT_TRUE(last.reorged) << "depth " << depth;
+    EXPECT_EQ(last.disconnected, depth) << "depth " << depth;
+    EXPECT_EQ(last.connected, depth + 1) << "depth " << depth;
+
+    EXPECT_EQ(chain.state().state_fingerprint(), replay_fingerprint(chain))
+        << "depth " << depth;
+  }
+}
+
+// An overtaking branch forking deeper than max_reorg_depth is refused and
+// the active chain is untouched.
+TEST_F(ReorgTest, MaxReorgDepthEnforced) {
+  ChainParams params;
+  params.max_reorg_depth = 5;
+  Blockchain chain{params};
+  Miner miner(chain, alice_.address());
+  miner.mine_empty(20);
+  Digest tip_before = chain.tip_hash();
+
+  std::uint64_t fork_height = 12;  // depth 8 > 5
+  Digest prev = chain.hash_at_height(fork_height);
+  for (std::uint64_t h = fork_height + 1; h <= 20; ++h) {
+    Block b = make_branch_block(chain, prev, h, bob_.address());
+    prev = b.hash();
+    ASSERT_TRUE(chain.submit_block(b).accepted);  // stored side branch
+  }
+  Block overtake = make_branch_block(chain, prev, 21, bob_.address());
+  auto result = chain.submit_block(overtake);
+  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.reorged);
+  EXPECT_NE(result.error.find("max_reorg_depth"), std::string::npos);
+  EXPECT_EQ(chain.tip_hash(), tip_before);
+  EXPECT_EQ(chain.height(), 20u);
+
+  // A shallow overtake still works.
+  Digest prev2 = chain.hash_at_height(18);
+  SubmitResult last{};
+  for (std::uint64_t h = 19; h <= 21; ++h) {
+    Block b = make_branch_block(chain, prev2, h, bob_.address(), {},
+                                /*salt=*/7);
+    prev2 = b.hash();
+    last = chain.submit_block(b);
+    ASSERT_TRUE(last.accepted) << last.error;
+  }
+  EXPECT_TRUE(last.reorged);
+  EXPECT_EQ(chain.height(), 21u);
+}
+
+// A sidechain that ceased on the losing branch (no certificate before the
+// window closed) must come back to life when the winning branch carries a
+// certificate — and cease again if the fork flips back.
+TEST_F(ReorgTest, CeasingFlipsAcrossReorgBoundary) {
+  Blockchain chain{ChainParams{}};
+  Wallet wallet(alice_);
+  Miner miner(chain, alice_.address());
+  auto p = make_sc_params(2, 3, 2, "flip-sc");  // window 0 closes at h=7
+
+  {
+    Mempool pool;
+    pool.sidechain_creations.push_back(p);
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+  }
+  {
+    Mempool pool;  // fund the sidechain so its certificate can pay bob
+    pool.transactions.push_back(*wallet.forward_transfer(
+        chain.state(), p.ledger_id,
+        std::vector<Digest>{hash_str(Domain::kGeneric, "r")}, 500'000));
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+  }
+  while (chain.height() < 4) miner.mine_empty(1);
+
+  // Certificate for epoch 0 (window [5,7)): valid on both branches below
+  // the fork, but only branch B includes it.
+  auto cert =
+      make_cert(chain, p, 0, 1, {BackwardTransfer{bob_.address(), 42'000}});
+
+  // Branch A (no certificate): window closes at 7 -> ceased.
+  miner.mine_empty(4);  // heights 5..8
+  Digest a_tip = chain.tip_hash();
+  ASSERT_TRUE(chain.state().find_sidechain(p.ledger_id)->ceased);
+  EXPECT_EQ(chain.state().balance_of(bob_.address()), 0u);
+
+  // Branch B from height 4: cert at 5, then empty to height 9 ->
+  // overtakes; the sidechain lives and bob got the payout at 7.
+  Digest prev = chain.hash_at_height(4);
+  std::vector<Block> branch_b;
+  SubmitResult last{};
+  for (std::uint64_t h = 5; h <= 9; ++h) {
+    Block b = make_branch_block(
+        chain, prev, h, alice_.address(),
+        h == 5 ? std::optional<WithdrawalCertificate>(cert) : std::nullopt);
+    prev = b.hash();
+    branch_b.push_back(b);
+    last = chain.submit_block(b);
+    ASSERT_TRUE(last.accepted) << last.error;
+  }
+  ASSERT_TRUE(last.reorged);
+  const SidechainStatus* sc = chain.state().find_sidechain(p.ledger_id);
+  ASSERT_NE(sc, nullptr);
+  EXPECT_FALSE(sc->ceased);
+  EXPECT_EQ(sc->last_finalized_epoch, std::optional<std::uint64_t>(0));
+  EXPECT_EQ(chain.state().balance_of(bob_.address()), 42'000u);
+  EXPECT_EQ(chain.state().state_fingerprint(), replay_fingerprint(chain));
+
+  // Branch A regains the lead (heights 9..10 on its old tip): the
+  // sidechain is ceased again and the payout is unwound.
+  Digest prev_a2 = a_tip;
+  for (std::uint64_t h = 9; h <= 10; ++h) {
+    Block b = make_branch_block(chain, prev_a2, h, alice_.address(), {},
+                                /*salt=*/3);
+    prev_a2 = b.hash();
+    last = chain.submit_block(b);
+    ASSERT_TRUE(last.accepted) << last.error;
+  }
+  ASSERT_TRUE(last.reorged);
+  sc = chain.state().find_sidechain(p.ledger_id);
+  ASSERT_NE(sc, nullptr);
+  EXPECT_TRUE(sc->ceased);
+  EXPECT_EQ(sc->last_finalized_epoch, std::nullopt);
+  EXPECT_EQ(chain.state().balance_of(bob_.address()), 0u);
+  EXPECT_EQ(chain.state().state_fingerprint(), replay_fingerprint(chain));
+}
+
+// Nullifiers added on the losing branch are released by the reorg.
+TEST_F(ReorgTest, NullifierReleasedByReorg) {
+  Blockchain chain{ChainParams{}};
+  Miner miner(chain, alice_.address());
+  auto p = make_sc_params(2, 5, 3, "null-sc");
+  {
+    Mempool pool;
+    pool.sidechain_creations.push_back(p);
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+  }
+  miner.mine_empty(1);
+
+  BtrRequest btr;
+  btr.ledger_id = p.ledger_id;
+  btr.receiver = bob_.address();
+  btr.amount = 500;
+  btr.nullifier = hash_str(Domain::kNullifier, "reorg-coin");
+  const SidechainStatus* sc = chain.state().find_sidechain(p.ledger_id);
+  auto st = btr_statement(sc->last_cert_block, btr.nullifier, btr.receiver,
+                          btr.amount, btr.proofdata_root());
+  btr.proof = *snark::PredicateSnark::prove(pk_, st, std::string("authority"));
+  Mempool mp;
+  mp.btrs.push_back(btr);
+  ASSERT_TRUE(miner.mine_and_submit(mp).accepted);  // height 3 carries BTR
+  ASSERT_TRUE(chain.state().nullifier_used(p.ledger_id, btr.nullifier));
+
+  // Rival branch from height 2 without the BTR overtakes.
+  Digest prev = chain.hash_at_height(2);
+  SubmitResult last{};
+  for (std::uint64_t h = 3; h <= 4; ++h) {
+    Block b = make_branch_block(chain, prev, h, bob_.address());
+    prev = b.hash();
+    last = chain.submit_block(b);
+    ASSERT_TRUE(last.accepted) << last.error;
+  }
+  ASSERT_TRUE(last.reorged);
+  EXPECT_FALSE(chain.state().nullifier_used(p.ledger_id, btr.nullifier));
+  EXPECT_EQ(chain.state().state_fingerprint(), replay_fingerprint(chain));
+}
+
+// dry_run must not mutate state (it shares apply_block with connect via a
+// discard-on-drop overlay).
+TEST_F(ReorgTest, DryRunLeavesStateUntouched) {
+  Blockchain chain{ChainParams{}};
+  Miner miner(chain, alice_.address());
+  miner.mine_empty(3);
+  Digest before = chain.state().state_fingerprint();
+  Block next = miner.build_block({});
+  EXPECT_EQ(chain.state().dry_run(next), "");
+  EXPECT_EQ(chain.state().state_fingerprint(), before);
+}
+
+}  // namespace
+}  // namespace zendoo::mainchain

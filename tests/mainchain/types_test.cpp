@@ -1,0 +1,70 @@
+// Value-type tests: OutPoint identity and hashing.
+#include "mainchain/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <unordered_set>
+
+namespace zendoo::mainchain {
+namespace {
+
+using crypto::Domain;
+using crypto::hash_str;
+
+TEST(OutPoint, EqualityAndOrdering) {
+  Digest a = hash_str(Domain::kGeneric, "tx-a");
+  Digest b = hash_str(Domain::kGeneric, "tx-b");
+  EXPECT_EQ((OutPoint{a, 0}), (OutPoint{a, 0}));
+  EXPECT_NE((OutPoint{a, 0}), (OutPoint{a, 1}));
+  EXPECT_NE((OutPoint{a, 0}), (OutPoint{b, 0}));
+  EXPECT_LT((OutPoint{a, 0}), (OutPoint{a, 1}));
+}
+
+TEST(OutPointHash, EqualValuesHashEqual) {
+  Digest t = hash_str(Domain::kGeneric, "tx");
+  EXPECT_EQ(OutPointHash{}(OutPoint{t, 7}), OutPointHash{}(OutPoint{t, 7}));
+}
+
+TEST(OutPointHash, DistinctOutpointsHashDistinct) {
+  // 64 transactions x 64 outputs: no collisions expected from a sound
+  // 64-bit hash over this few keys.
+  std::unordered_set<std::size_t> seen;
+  for (int t = 0; t < 64; ++t) {
+    Digest txid = hash_str(Domain::kGeneric, "tx-" + std::to_string(t));
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      seen.insert(OutPointHash{}(OutPoint{txid, i}));
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u * 64u);
+}
+
+TEST(OutPointHash, IndexAvalanche) {
+  // Bumping the index must flip bits throughout the word, not just the
+  // low-order end (the old `*1000003 + index` scheme changed only the low
+  // bits, clustering one transaction's outputs into adjacent buckets).
+  Digest txid = hash_str(Domain::kGeneric, "avalanche-tx");
+  int total_flipped = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::size_t h0 = OutPointHash{}(OutPoint{txid, i});
+    std::size_t h1 = OutPointHash{}(OutPoint{txid, i + 1});
+    total_flipped += std::popcount(static_cast<std::uint64_t>(h0 ^ h1));
+  }
+  // A strong mixer averages ~32 flipped bits; require well above the ~2
+  // the weak scheme produced.
+  EXPECT_GT(total_flipped / 64, 16);
+}
+
+TEST(OutPointHash, HighBitsVary) {
+  // The top 16 bits must take many values across one transaction's
+  // outputs (they were constant under the weak scheme).
+  Digest txid = hash_str(Domain::kGeneric, "high-bits-tx");
+  std::unordered_set<std::size_t> high_bits;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    high_bits.insert(OutPointHash{}(OutPoint{txid, i}) >> 48);
+  }
+  EXPECT_GT(high_bits.size(), 200u);
+}
+
+}  // namespace
+}  // namespace zendoo::mainchain
