@@ -71,7 +71,7 @@ void BM_EpochFinalizationSweep(benchmark::State& state) {
   }
   Block out;
   auto r = miner.mine_and_submit(pool, &out);
-  if (!r.accepted) state.SkipWithError("setup failed");
+  if (!r.accepted()) state.SkipWithError("setup failed");
   Block next = miner.build_block({});
   for (auto _ : state) {
     ChainState s = chain.state();

@@ -1,0 +1,75 @@
+// Gossip cost over the deterministic network simulator: what block
+// propagation and partition recovery cost as the cluster grows.
+//
+// BM_BlockPropagation: one miner, N nodes — flood-relay a block to every
+// peer (codec encode/decode per hop dominates).
+// BM_PartitionRecovery: a 2|2+ split diverges by d blocks per side, then
+// heals — measures the orphan/getblock backfill walk plus the reorg on
+// the losing side.
+#include <benchmark/benchmark.h>
+
+#include "net/scenario.hpp"
+
+namespace {
+
+using namespace zendoo;
+
+crypto::KeyPair key_of(std::uint64_t i) {
+  return crypto::KeyPair::from_seed(crypto::Hasher(crypto::Domain::kGeneric)
+                                        .write_str("bench-miner")
+                                        .write_u64(i)
+                                        .finalize());
+}
+
+struct Cluster {
+  net::SimNet simnet;
+  std::vector<std::unique_ptr<net::NetNode>> nodes;
+
+  explicit Cluster(std::size_t n) : simnet(1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<net::NetNode>(
+          simnet, mainchain::ChainParams{}, key_of(i)));
+    }
+  }
+};
+
+void BM_BlockPropagation(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(n);
+    state.ResumeTiming();
+    cluster.nodes[0]->mine();
+    cluster.simnet.run_until_idle();
+    benchmark::DoNotOptimize(cluster.nodes[n - 1]->tip());
+  }
+  state.SetLabel("nodes=" + std::to_string(n));
+}
+BENCHMARK(BM_BlockPropagation)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PartitionRecovery(benchmark::State& state) {
+  const std::size_t depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(4);
+    cluster.simnet.partition({{0, 1}, {2, 3}});
+    for (std::size_t i = 0; i < depth; ++i) {
+      cluster.nodes[0]->mine();
+      cluster.nodes[2]->mine();
+      cluster.nodes[2]->mine();  // side B stays strictly ahead
+      cluster.simnet.run_until_idle();
+    }
+    state.ResumeTiming();
+    cluster.simnet.heal();
+    for (auto& node : cluster.nodes) node->announce_tip();
+    cluster.simnet.run_until_idle();
+    benchmark::DoNotOptimize(cluster.nodes[0]->tip());
+  }
+  state.SetLabel("diverged=" + std::to_string(depth) + "|" +
+                 std::to_string(2 * depth));
+}
+BENCHMARK(BM_PartitionRecovery)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -57,7 +57,7 @@ struct ReorgSetup {
       Block b = make_rival_block(prev, h, rival_key.address(),
                                  chain.params());
       prev = b.hash();
-      if (!chain.submit_block(b).accepted) {
+      if (!chain.submit_block(b).accepted()) {
         throw std::logic_error("bench: rival block rejected");
       }
     }
@@ -76,7 +76,7 @@ void BM_ReorgVsChainLength(benchmark::State& state) {
     Blockchain chain = setup.chain;
     state.ResumeTiming();
     auto result = chain.submit_block(setup.trigger);
-    if (!result.accepted || !result.reorged) {
+    if (!result.accepted() || !result.reorged) {
       throw std::logic_error("bench: reorg did not happen: " + result.error);
     }
     benchmark::DoNotOptimize(chain.height());
@@ -94,7 +94,7 @@ void BM_ReorgVsDepth(benchmark::State& state) {
     Blockchain chain = setup.chain;
     state.ResumeTiming();
     auto result = chain.submit_block(setup.trigger);
-    if (!result.accepted || !result.reorged) {
+    if (!result.accepted() || !result.reorged) {
       throw std::logic_error("bench: reorg did not happen: " + result.error);
     }
     benchmark::DoNotOptimize(chain.height());

@@ -55,7 +55,7 @@ void Engine::sync_entry(ScEntry& entry, const mainchain::Block& block) {
 mainchain::Block Engine::step() {
   mainchain::Block block;
   auto result = miner_.mine_and_submit(mempool_, &block);
-  if (!result.accepted) {
+  if (!result.accepted()) {
     throw std::logic_error("Engine: mining failed: " + result.error);
   }
   mempool_.clear();
@@ -75,6 +75,18 @@ mainchain::Block Engine::step() {
 
 void Engine::run(std::uint64_t n) {
   for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+mainchain::Blockchain::SubmitResult Engine::submit_external_block(
+    const mainchain::Block& block) {
+  auto result = chain_.submit_block(block);
+  if (result.accepted() && (result.connected > 0 || result.reorged)) {
+    // resync handles plain catch-up and reorgs alike: it walks back to
+    // the fork point between what each node observed and the new active
+    // chain, then replays forward.
+    resync_sidechains_after_reorg();
+  }
+  return result;
 }
 
 bool Engine::queue_forward_transfer(const SidechainId& id,

@@ -44,6 +44,14 @@ class Engine {
   /// internal inconsistency (a bug, not a user error).
   mainchain::Block step();
 
+  /// Submit a block produced elsewhere (received from a peer) to the
+  /// mainchain. Whenever the active chain advances or switches branches
+  /// — including via orphans the block unlocked — every sidechain is
+  /// brought back in sync with the resulting active chain, so a gossip
+  /// layer can feed blocks in any arrival order.
+  mainchain::Blockchain::SubmitResult submit_external_block(
+      const mainchain::Block& block);
+
   /// Advance `n` MC blocks.
   void run(std::uint64_t n);
 

@@ -79,6 +79,7 @@ void Sha256::process_block(const std::uint8_t* block) {
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // empty spans may carry a null data()
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ != 0) {

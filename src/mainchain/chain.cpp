@@ -227,7 +227,24 @@ Block make_genesis_block() {
   return genesis;
 }
 
+Blockchain::SubmitResult invalid_result(std::string error) {
+  Blockchain::SubmitResult r;
+  r.code = SubmitCode::kInvalid;
+  r.error = std::move(error);
+  return r;
+}
+
 }  // namespace
+
+const char* to_string(SubmitCode code) {
+  switch (code) {
+    case SubmitCode::kAccepted: return "accepted";
+    case SubmitCode::kDuplicate: return "duplicate";
+    case SubmitCode::kOrphaned: return "orphaned";
+    case SubmitCode::kInvalid: return "invalid";
+  }
+  return "?";
+}
 
 Blockchain::Blockchain(ChainParams params)
     : params_(params), state_(params) {
@@ -255,21 +272,6 @@ std::vector<Digest> Blockchain::active_chain() const {
     out.push_back(state_.hash_at_height(h));
   }
   return out;
-}
-
-std::string Blockchain::structural_check(const Block& block) const {
-  if (!(block.hash().as_u256() < params_.pow_target)) {
-    return "insufficient proof of work";
-  }
-  auto parent = heights_.find(block.header.prev_hash);
-  if (parent == heights_.end()) return "unknown parent block";
-  if (block.header.height != parent->second + 1) {
-    return "block height does not follow parent";
-  }
-  if (block.header.tx_merkle_root != block.compute_tx_merkle_root()) {
-    return "tx merkle root mismatch";
-  }
-  return "";
 }
 
 bool Blockchain::on_active_chain(const Digest& hash) const {
@@ -304,10 +306,8 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
   std::uint64_t depth = state_.height() - fork_height;
 
   if (depth > params_.max_reorg_depth) {
-    return {false, false,
-            "reorg of depth " + std::to_string(depth) +
-                " exceeds max_reorg_depth",
-            0, 0};
+    return invalid_result("reorg of depth " + std::to_string(depth) +
+                          " exceeds max_reorg_depth");
   }
 
   // Remember the branch being abandoned so an invalid candidate can be
@@ -345,31 +345,39 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
         }
         push_undo(std::move(redo));
       }
-      return {false, false, "reorg candidate invalid: " + err, 0, 0};
+      return invalid_result("reorg candidate invalid: " + err);
     }
     push_undo(std::move(undo));
   }
-  return {true, depth > 0, "", depth,
-          static_cast<std::uint64_t>(new_branch.size())};
+  SubmitResult result;
+  result.code = SubmitCode::kAccepted;
+
+  result.reorged = depth > 0;
+  result.disconnected = depth;
+  result.connected = new_branch.size();
+  return result;
 }
 
-Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
+Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
   Digest hash = block.hash();
-  if (blocks_.contains(hash)) return {false, false, "duplicate block", 0, 0};
-  if (std::string err = structural_check(block); !err.empty()) {
-    return {false, false, err, 0, 0};
+  if (block.header.height != heights_.at(block.header.prev_hash) + 1) {
+    return invalid_result("block height does not follow parent");
   }
 
   if (block.header.prev_hash == state_.tip_hash()) {
     // Fast path: extends the active tip.
     BlockUndo undo;
     if (std::string err = state_.connect_block(block, &undo); !err.empty()) {
-      return {false, false, err, 0, 0};
+      return invalid_result(err);
     }
     push_undo(std::move(undo));
     heights_[hash] = block.header.height;
     blocks_.emplace(hash, block);
-    return {true, false, "", 0, 1};
+    SubmitResult result;
+    result.code = SubmitCode::kAccepted;
+  
+    result.connected = 1;
+    return result;
   }
 
   // Side branch. Store it; switch only if it becomes strictly longer than
@@ -377,13 +385,129 @@ Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   heights_[hash] = block.header.height;
   blocks_.emplace(hash, block);
   if (block.header.height <= state_.height()) {
-    return {true, false, "", 0, 0};
+    SubmitResult result;
+    result.code = SubmitCode::kAccepted;
+  
+    return result;
   }
 
   SubmitResult result = activate_branch(hash);
-  if (!result.accepted) {
+  if (!result.accepted()) {
     blocks_.erase(hash);
     heights_.erase(hash);
+  }
+  return result;
+}
+
+void Blockchain::erase_orphan(const Digest& hash) {
+  auto it = orphans_.find(hash);
+  if (it == orphans_.end()) return;
+  auto [lo, hi] = orphan_children_.equal_range(it->second.header.prev_hash);
+  for (auto idx = lo; idx != hi; ++idx) {
+    if (idx->second == hash) {
+      orphan_children_.erase(idx);
+      break;
+    }
+  }
+  orphans_.erase(it);
+}
+
+void Blockchain::prune_orphans() {
+  // Height window: only orphans whose claimed height is near the next
+  // height to connect can still matter.
+  const std::uint64_t next = state_.height() + 1;
+  const std::uint64_t window = params_.orphan_height_window;
+  std::vector<Digest> stale;
+  for (const auto& [hash, block] : orphans_) {
+    const std::uint64_t h = block.header.height;
+    if (h + window < next || h > next + window) stale.push_back(hash);
+  }
+  for (const Digest& hash : stale) erase_orphan(hash);
+
+  // Size bound: evict the orphan farthest from the tip (larger hash
+  // breaking ties) until the pool fits — deterministic under any
+  // insertion order.
+  while (orphans_.size() > params_.max_orphan_blocks) {
+    auto distance = [next](std::uint64_t h) {
+      return h > next ? h - next : next - h;
+    };
+    auto victim = orphans_.begin();
+    for (auto it = std::next(orphans_.begin()); it != orphans_.end(); ++it) {
+      const std::uint64_t dv = distance(victim->second.header.height);
+      const std::uint64_t di = distance(it->second.header.height);
+      if (di > dv || (di == dv && it->first > victim->first)) victim = it;
+    }
+    erase_orphan(victim->first);
+  }
+}
+
+void Blockchain::connect_orphans(const Digest& parent, SubmitResult& agg) {
+  std::vector<Digest> ready{parent};
+  while (!ready.empty()) {
+    Digest p = ready.back();
+    ready.pop_back();
+    auto [lo, hi] = orphan_children_.equal_range(p);
+    std::vector<Digest> kids;
+    for (auto it = lo; it != hi; ++it) kids.push_back(it->second);
+    orphan_children_.erase(lo, hi);
+    std::sort(kids.begin(), kids.end());  // deterministic adoption order
+    for (const Digest& kid_hash : kids) {
+      auto it = orphans_.find(kid_hash);
+      if (it == orphans_.end()) continue;
+      Block kid = std::move(it->second);
+      orphans_.erase(it);
+      SubmitResult r = submit_attached(kid);
+      if (r.code == SubmitCode::kAccepted) {
+        ++agg.orphans_connected;
+        agg.connected += r.connected;
+        agg.disconnected += r.disconnected;
+        agg.reorged = agg.reorged || r.reorged;
+        ready.push_back(kid_hash);
+      }
+      // An orphan that fails validation is simply discarded; its own
+      // descendants (if any) will age out of the height window.
+    }
+  }
+}
+
+Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
+  Digest hash = block.hash();
+  if (blocks_.contains(hash) || orphans_.contains(hash)) {
+    SubmitResult result;
+    result.code = SubmitCode::kDuplicate;
+    return result;  // idempotent: resubmission is a silent no-op
+  }
+
+  // Checks that need no parent context — an orphan must pass these too,
+  // so a spammer cannot fill the pool with free (PoW-less) blocks.
+  if (!(block.hash().as_u256() < params_.pow_target)) {
+    return invalid_result("insufficient proof of work");
+  }
+  if (block.header.height == 0 || block.header.prev_hash.is_zero()) {
+    return invalid_result("only one genesis block");
+  }
+  if (block.header.tx_merkle_root != block.compute_tx_merkle_root()) {
+    return invalid_result("tx merkle root mismatch");
+  }
+
+  if (!heights_.contains(block.header.prev_hash)) {
+    // Parent not here yet (out-of-order gossip delivery): buffer. The
+    // result is kOrphaned even when pruning refuses retention (height
+    // outside the window, pool full) — the parent is unknown either way
+    // and the caller should backfill ancestors; an unretained orphan
+    // simply re-triggers this path when redelivered later.
+    orphan_children_.emplace(block.header.prev_hash, hash);
+    orphans_.emplace(hash, block);
+    prune_orphans();
+    SubmitResult result;
+    result.code = SubmitCode::kOrphaned;
+    return result;
+  }
+
+  SubmitResult result = submit_attached(block);
+  if (result.code == SubmitCode::kAccepted) {
+    connect_orphans(hash, result);
+    prune_orphans();  // the tip may have moved; re-apply the window
   }
   return result;
 }

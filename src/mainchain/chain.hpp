@@ -99,17 +99,38 @@ class ChainState final : public StateView {
   bool genesis_connected_ = false;
 };
 
+/// Outcome class of Blockchain::submit_block — the contract a gossip
+/// layer programs against.
+enum class SubmitCode {
+  kAccepted,   ///< stored in the block tree (may or may not be active)
+  kDuplicate,  ///< already known (tree or orphan pool); idempotent no-op
+  kOrphaned,   ///< parent unknown; buffered until it arrives (or refused
+               ///< retention when outside the pool bounds — redelivery
+               ///< re-triggers this code, so callers backfill either way)
+  kInvalid,    ///< failed validation and was rejected
+};
+
+/// Human-readable name for diagnostics ("accepted", "duplicate", ...).
+[[nodiscard]] const char* to_string(SubmitCode code);
+
 /// Block tree with Nakamoto fork choice.
 class Blockchain {
  public:
   explicit Blockchain(ChainParams params);
 
   struct SubmitResult {
-    bool accepted = false;   ///< block stored (may or may not be active)
+    SubmitCode code = SubmitCode::kInvalid;
+    /// Block entered the tree (may or may not be active).
+    [[nodiscard]] bool accepted() const {
+      return code == SubmitCode::kAccepted;
+    }
     bool reorged = false;    ///< fork choice switched branches
-    std::string error;       ///< non-empty iff rejected
+    std::string error;       ///< non-empty iff code == kInvalid
     std::uint64_t disconnected = 0;  ///< blocks rolled back by a reorg
     std::uint64_t connected = 0;     ///< blocks applied (1 on the fast path)
+    /// Buffered orphans adopted into the tree because this block (or a
+    /// block it unlocked) was their missing parent.
+    std::uint64_t orphans_connected = 0;
   };
 
   /// Validate and store a block; extends the tree and may switch the
@@ -117,6 +138,11 @@ class Blockchain {
   /// disconnects back to the fork point via undo records and connects
   /// only the new branch — O(depth), not O(chain length). Overtaking
   /// branches forking deeper than max_reorg_depth are rejected.
+  ///
+  /// Gossip-friendly: resubmitting a known block is a kDuplicate no-op,
+  /// and a block whose parent has not arrived yet is buffered in a
+  /// bounded orphan pool (kOrphaned) and connected automatically once the
+  /// parent does — out-of-order delivery is handled here, not by callers.
   SubmitResult submit_block(const Block& block);
 
   [[nodiscard]] const ChainState& state() const { return state_; }
@@ -132,17 +158,42 @@ class Blockchain {
   /// Active chain as block hashes, genesis first.
   [[nodiscard]] std::vector<Digest> active_chain() const;
 
+  // ---- Orphan pool introspection (tests, gossip backfill) ----
+  [[nodiscard]] std::size_t orphan_count() const { return orphans_.size(); }
+  [[nodiscard]] bool has_orphan(const Digest& hash) const {
+    return orphans_.contains(hash);
+  }
+  /// True when `hash` is in the block tree (connected, any branch).
+  [[nodiscard]] bool has_block(const Digest& hash) const {
+    return blocks_.contains(hash);
+  }
+
  private:
-  [[nodiscard]] std::string structural_check(const Block& block) const;
   [[nodiscard]] bool on_active_chain(const Digest& hash) const;
   void push_undo(BlockUndo undo);
   /// Switches the active branch to the stored block `tip`. Expects `tip`
   /// to be strictly higher than the current tip.
   SubmitResult activate_branch(const Digest& tip);
+  /// submit_block for a block whose parent is already in the tree.
+  SubmitResult submit_attached(const Block& block);
+  /// Adopts every orphan whose ancestry became complete when `parent`
+  /// entered the tree, folding their effects into `agg`.
+  void connect_orphans(const Digest& parent, SubmitResult& agg);
+  /// Drops the orphan with this hash from pool and parent index.
+  void erase_orphan(const Digest& hash);
+  /// Enforces the orphan height window and size bound (deterministic:
+  /// farthest-from-tip first, larger hash breaking ties).
+  void prune_orphans();
 
   ChainParams params_;
   std::unordered_map<Digest, Block, crypto::DigestHash> blocks_;
   std::unordered_map<Digest, std::uint64_t, crypto::DigestHash> heights_;
+  /// Blocks waiting for their parent, by own hash; bounded by
+  /// ChainParams::max_orphan_blocks / orphan_height_window.
+  std::unordered_map<Digest, Block, crypto::DigestHash> orphans_;
+  /// Parent hash -> orphan hash index for O(1) adoption.
+  std::unordered_multimap<Digest, Digest, crypto::DigestHash>
+      orphan_children_;
   Digest genesis_hash_;
   ChainState state_;
   /// Undo records for the most recent active blocks, oldest first; the

@@ -102,7 +102,7 @@ void Miner::mine_empty(std::size_t n) {
   Mempool empty;
   for (std::size_t i = 0; i < n; ++i) {
     auto result = mine_and_submit(empty);
-    if (!result.accepted) {
+    if (!result.accepted()) {
       throw std::logic_error("mine_empty: submit failed: " + result.error);
     }
   }

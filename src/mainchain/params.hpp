@@ -69,6 +69,17 @@ struct ChainParams {
   Amount block_subsidy = 50'000'000;
   /// Maximum reorg the node will follow (sanity bound, like checkpointing).
   std::uint64_t max_reorg_depth = 1000;
+  /// Orphan pool size bound: blocks arriving before their parent are
+  /// buffered, at most this many — a peer spamming disconnected blocks
+  /// cannot grow memory without limit.
+  std::size_t max_orphan_blocks = 64;
+  /// An orphan is only retained while its claimed height is within this
+  /// window of the next block to connect (tip height + 1). The window
+  /// bounds memory, not syncability: a block outside it is still
+  /// reported kOrphaned (parent unknown) and can be redelivered once the
+  /// tip catches up — repeated announcements advance a lagging node by
+  /// up to one pool's worth of blocks each round.
+  std::uint64_t orphan_height_window = 256;
 };
 
 }  // namespace zendoo::mainchain

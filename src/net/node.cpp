@@ -1,0 +1,132 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+
+#include "mainchain/codec.hpp"
+
+namespace zendoo::net {
+
+using mainchain::SubmitCode;
+
+NetNode::NetNode(SimNet& net, mainchain::ChainParams params,
+                 const crypto::KeyPair& miner_key)
+    : net_(net), engine_(params, miner_key) {
+  id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
+    handle(from, p);
+  });
+}
+
+std::vector<std::uint8_t> NetNode::encode_block_msg(
+    const mainchain::Block& block) {
+  std::vector<std::uint8_t> wire{
+      static_cast<std::uint8_t>(MsgType::kBlock)};
+  auto body = mainchain::codec::encode_block(block);
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+mainchain::Block NetNode::mine() {
+  mainchain::Block block = engine_.step();
+  net_.broadcast(id_, encode_block_msg(block));
+  return block;
+}
+
+void NetNode::announce_tip() {
+  if (height() == 0) return;  // nothing beyond the shared genesis
+  const mainchain::Block* tip_block = chain().find_block(tip());
+  net_.broadcast(id_, encode_block_msg(*tip_block));
+}
+
+void NetNode::relay_block(NodeId origin, std::vector<std::uint8_t> wire) {
+  // One buffer shared across the whole fan-out.
+  auto shared =
+      std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
+  for (NodeId to = 0; to < net_.node_count(); ++to) {
+    if (to != id_ && to != origin) net_.send(id_, to, shared);
+  }
+  ++stats_.blocks_relayed;
+}
+
+void NetNode::request_block(NodeId from, const crypto::Digest& hash) {
+  std::vector<std::uint8_t> req{
+      static_cast<std::uint8_t>(MsgType::kGetBlock)};
+  req.insert(req.end(), hash.bytes.begin(), hash.bytes.end());
+  net_.send(id_, from, std::move(req));
+}
+
+void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
+  if (payload.empty()) {
+    ++stats_.invalid;
+    return;
+  }
+  auto body = payload.subspan(1);
+  switch (static_cast<MsgType>(payload.front())) {
+    case MsgType::kBlock:
+      on_block(from, body);
+      return;
+    case MsgType::kGetBlock:
+      on_get_block(from, body);
+      return;
+  }
+  ++stats_.invalid;
+}
+
+void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
+  mainchain::Block block;
+  try {
+    block = mainchain::codec::decode_block(body);
+  } catch (const mainchain::codec::CodecError&) {
+    ++stats_.invalid;
+    return;
+  }
+
+  auto result = engine_.submit_external_block(block);
+  if (result.reorged) ++stats_.reorgs;
+  switch (result.code) {
+    case SubmitCode::kAccepted: {
+      ++stats_.blocks_received;
+      // Flood the block onward; peers that already have it answer with a
+      // cheap duplicate no-op, so the flood terminates.
+      std::vector<std::uint8_t> wire{
+          static_cast<std::uint8_t>(MsgType::kBlock)};
+      wire.insert(wire.end(), body.begin(), body.end());
+      relay_block(from, std::move(wire));
+      return;
+    }
+    case SubmitCode::kOrphaned:
+      ++stats_.orphans_buffered;
+      // Backfill walk: ask the sender for the missing parent. If that
+      // parent is itself unknown it will be orphaned in turn and the walk
+      // continues until a known ancestor connects the whole branch.
+      request_block(from, block.header.prev_hash);
+      return;
+    case SubmitCode::kDuplicate:
+      ++stats_.duplicates;
+      // Still waiting for this block's parent? A previous backfill
+      // request (or its answer) may have been lost to a drop or a
+      // partition cut — re-arm the walk instead of stalling forever.
+      if (chain().has_orphan(block.hash())) {
+        request_block(from, block.header.prev_hash);
+      }
+      return;
+    case SubmitCode::kInvalid:
+      ++stats_.invalid;
+      return;
+  }
+}
+
+void NetNode::on_get_block(NodeId from,
+                           std::span<const std::uint8_t> body) {
+  if (body.size() != crypto::Digest{}.bytes.size()) {
+    ++stats_.invalid;
+    return;
+  }
+  crypto::Digest hash;
+  std::copy(body.begin(), body.end(), hash.bytes.begin());
+  const mainchain::Block* block = chain().find_block(hash);
+  if (block == nullptr) return;  // don't have it; requester re-syncs later
+  ++stats_.get_block_served;
+  net_.send(id_, from, encode_block_msg(*block));
+}
+
+}  // namespace zendoo::net

@@ -1,0 +1,73 @@
+// A network participant: one independent Engine (miner + Blockchain +
+// optional Latus sidechains) attached to a SimNet endpoint.
+//
+// Nodes gossip whole blocks over the wire codec and flood-relay anything
+// new; a block arriving before its parent lands in the Blockchain's
+// orphan pool and the node requests the missing ancestor from whoever
+// sent it (a minimal getdata walk). Combined with the pool's automatic
+// orphan adoption this makes delivery-order irrelevant: any schedule of
+// latencies and races converges to the same chain the blocks describe.
+#pragma once
+
+#include "core/engine.hpp"
+#include "net/sim.hpp"
+
+namespace zendoo::net {
+
+/// Wire message kinds exchanged by NetNodes (1-byte envelope tag).
+enum class MsgType : std::uint8_t {
+  kBlock = 1,     ///< codec-encoded Block
+  kGetBlock = 2,  ///< 32-byte block hash the sender wants
+};
+
+class NetNode {
+ public:
+  NetNode(SimNet& net, mainchain::ChainParams params,
+          const crypto::KeyPair& miner_key);
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] core::Engine& engine() { return engine_; }
+  [[nodiscard]] const core::Engine& engine() const { return engine_; }
+  [[nodiscard]] mainchain::Blockchain& chain() { return engine_.mc(); }
+  [[nodiscard]] const mainchain::Blockchain& chain() const {
+    return engine_.mc();
+  }
+  [[nodiscard]] crypto::Digest tip() const { return engine_.mc().tip_hash(); }
+  [[nodiscard]] std::uint64_t height() const { return engine_.mc().height(); }
+
+  /// Mine one block from the local mempool on the local tip and gossip
+  /// it to every peer.
+  mainchain::Block mine();
+
+  /// Re-broadcast the current tip block — how a node restarts sync after
+  /// a partition heals (peers that missed the branch orphan the tip and
+  /// walk back for the ancestors).
+  void announce_tip();
+
+  struct Stats {
+    std::uint64_t blocks_received = 0;  ///< accepted first-sight blocks
+    std::uint64_t blocks_relayed = 0;
+    std::uint64_t orphans_buffered = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t invalid = 0;  ///< malformed payloads + rejected blocks
+    std::uint64_t get_block_served = 0;
+    std::uint64_t reorgs = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void handle(NodeId from, std::span<const std::uint8_t> payload);
+  void on_block(NodeId from, std::span<const std::uint8_t> body);
+  void on_get_block(NodeId from, std::span<const std::uint8_t> body);
+  void relay_block(NodeId origin, std::vector<std::uint8_t> wire);
+  void request_block(NodeId from, const crypto::Digest& hash);
+  static std::vector<std::uint8_t> encode_block_msg(
+      const mainchain::Block& block);
+
+  SimNet& net_;
+  core::Engine engine_;
+  NodeId id_;
+  Stats stats_;
+};
+
+}  // namespace zendoo::net

@@ -1,0 +1,152 @@
+// Scenario layer over SimNet + NetNode: a scripted (or seeded-random)
+// schedule of mining, partitions, heals and link degradation, plus the
+// convergence driver the §5.1 tests assert against.
+//
+// A scenario is pure data — a time-sorted list of typed events — so a
+// failing randomized run can be reproduced exactly from its seed, and a
+// hand-written race (examples/network_race.cpp) reads like the prose
+// description of the experiment.
+#pragma once
+
+#include <algorithm>
+#include <variant>
+
+#include "net/node.hpp"
+
+namespace zendoo::net {
+
+/// One scheduled action.
+struct ScenarioEvent {
+  struct Mine {
+    std::size_t node = 0;  ///< index into the runner's node list
+    std::size_t count = 1;
+  };
+  struct Partition {
+    std::vector<std::vector<NodeId>> groups;
+  };
+  struct Heal {};
+  /// Replace the default link model (latency spike, lossy phase).
+  struct Link {
+    LinkParams params;
+  };
+
+  SimTime at = 0;
+  std::variant<Mine, Partition, Heal, Link> action;
+};
+
+class ScenarioRunner {
+ public:
+  ScenarioRunner(SimNet& net, std::vector<NetNode*> nodes)
+      : net_(net), nodes_(std::move(nodes)) {}
+
+  /// Plays the schedule: the network runs up to each event's time, then
+  /// the event fires. Mining broadcasts immediately; heal triggers a tip
+  /// re-announcement from every node (how reconnecting peers learn what
+  /// they missed).
+  void run(std::vector<ScenarioEvent> schedule) {
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                       return a.at < b.at;
+                     });
+    for (const ScenarioEvent& event : schedule) {
+      net_.run_until(event.at);
+      if (const auto* mine = std::get_if<ScenarioEvent::Mine>(&event.action)) {
+        for (std::size_t i = 0; i < mine->count; ++i) {
+          nodes_[mine->node]->mine();
+        }
+      } else if (const auto* part =
+                     std::get_if<ScenarioEvent::Partition>(&event.action)) {
+        net_.partition(part->groups);
+      } else if (std::get_if<ScenarioEvent::Heal>(&event.action) != nullptr) {
+        net_.heal();
+        for (NetNode* node : nodes_) node->announce_tip();
+      } else if (const auto* link =
+                     std::get_if<ScenarioEvent::Link>(&event.action)) {
+        net_.set_default_link(link->params);
+      }
+    }
+  }
+
+  [[nodiscard]] bool all_tips_equal() const {
+    for (const NetNode* node : nodes_) {
+      if (node->tip() != nodes_.front()->tip()) return false;
+    }
+    return true;
+  }
+
+  /// Drives the network to a common tip: heal, restore lossless links,
+  /// re-announce, drain — then, while tips still differ (equal-length
+  /// branches keep their first-seen tip under the Nakamoto rule), let
+  /// `closer` mine a tie-break block so its branch becomes strictly
+  /// longest. Returns true once every node agrees.
+  bool converge(std::size_t closer = 0, std::size_t max_rounds = 8) {
+    net_.heal();
+    LinkParams lossless = net_.default_link();
+    lossless.drop_num = 0;
+    net_.set_default_link(lossless);
+    for (NetNode* node : nodes_) node->announce_tip();
+    net_.run_until_idle();
+    for (std::size_t round = 0; round < max_rounds; ++round) {
+      if (all_tips_equal()) return true;
+      nodes_[closer]->mine();
+      net_.run_until_idle();
+      for (NetNode* node : nodes_) node->announce_tip();
+      net_.run_until_idle();
+    }
+    return all_tips_equal();
+  }
+
+ private:
+  SimNet& net_;
+  std::vector<NetNode*> nodes_;
+};
+
+/// Seeded random race: `cycles` partition/heal rounds, each splitting the
+/// nodes in two and letting both sides mine concurrently, with occasional
+/// latency spikes and lossy phases. Deterministic in (rng state, shape
+/// arguments); every event lands strictly before the returned end time.
+inline std::vector<ScenarioEvent> make_random_race(crypto::Rng& rng,
+                                                   std::size_t n_nodes,
+                                                   std::size_t cycles,
+                                                   std::size_t mines_per_side,
+                                                   SimTime* end_time = nullptr) {
+  std::vector<ScenarioEvent> schedule;
+  SimTime t = 1;
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    // Random two-way split with both sides non-empty.
+    std::vector<NodeId> side_a, side_b;
+    for (NodeId id = 0; id < n_nodes; ++id) {
+      (rng.chance(1, 2) ? side_a : side_b).push_back(id);
+    }
+    if (side_a.empty()) side_a.push_back(side_b.back()), side_b.pop_back();
+    if (side_b.empty()) side_b.push_back(side_a.back()), side_a.pop_back();
+    schedule.push_back({t, ScenarioEvent::Partition{{side_a, side_b}}});
+
+    if (rng.chance(1, 3)) {  // lossy / slow phase for this cycle
+      LinkParams degraded;
+      degraded.latency_min = 1 + rng.next_below(4);
+      degraded.latency_max = degraded.latency_min + rng.next_below(8);
+      degraded.drop_num = static_cast<std::uint32_t>(rng.next_below(3));
+      degraded.drop_den = 10;
+      schedule.push_back({t, ScenarioEvent::Link{degraded}});
+    }
+
+    // Both sides mine concurrently at random offsets — the race.
+    for (std::size_t i = 0; i < mines_per_side; ++i) {
+      schedule.push_back(
+          {t + 1 + rng.next_below(20),
+           ScenarioEvent::Mine{side_a[rng.next_below(side_a.size())], 1}});
+      schedule.push_back(
+          {t + 1 + rng.next_below(20),
+           ScenarioEvent::Mine{side_b[rng.next_below(side_b.size())], 1}});
+    }
+    t += 25;
+    schedule.push_back({t, ScenarioEvent::Heal{}});
+    schedule.push_back({t, ScenarioEvent::Link{LinkParams{}}});
+    t += 15;
+  }
+  if (end_time != nullptr) *end_time = t;
+  return schedule;
+}
+
+}  // namespace zendoo::net

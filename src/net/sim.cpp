@@ -1,0 +1,136 @@
+#include "net/sim.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::net {
+
+namespace {
+
+std::uint64_t pair_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (std::uint64_t{a} << 32) | b;
+}
+
+}  // namespace
+
+NodeId SimNet::add_node(Handler handler) {
+  handlers_.push_back(std::move(handler));
+  if (!group_of_.empty()) group_of_.push_back(0);
+  return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void SimNet::set_link(NodeId a, NodeId b, const LinkParams& link) {
+  link_overrides_[pair_key(a, b)] = link;
+}
+
+const LinkParams& SimNet::link_between(NodeId a, NodeId b) const {
+  auto it = link_overrides_.find(pair_key(a, b));
+  return it == link_overrides_.end() ? default_link_ : it->second;
+}
+
+void SimNet::partition(const std::vector<std::vector<NodeId>>& groups) {
+  group_of_.assign(handlers_.size(), 0);  // unlisted nodes: implicit group 0
+  std::uint32_t label = 1;
+  for (const auto& group : groups) {
+    for (NodeId id : group) {
+      if (id >= handlers_.size()) {
+        throw std::out_of_range("SimNet::partition: unknown node id");
+      }
+      group_of_[id] = label;
+    }
+    ++label;
+  }
+}
+
+void SimNet::heal() { group_of_.clear(); }
+
+void SimNet::schedule(
+    NodeId from, NodeId to,
+    std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+  const LinkParams& link = link_between(from, to);
+  Pending msg;
+  msg.at = now_ + link.latency_min +
+           (link.latency_max > link.latency_min
+                ? rng_.next_below(link.latency_max - link.latency_min + 1)
+                : 0);
+  msg.seq = next_seq_++;
+  msg.from = from;
+  msg.to = to;
+  msg.payload = std::move(payload);
+  msg.dropped = link.drop_num != 0 && rng_.chance(link.drop_num, link.drop_den);
+  ++stats_.sent;
+  queue_.push(std::move(msg));
+}
+
+void SimNet::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
+  send(from, to,
+       std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
+}
+
+void SimNet::send(NodeId from, NodeId to,
+                  std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+  if (from >= handlers_.size() || to >= handlers_.size()) {
+    throw std::out_of_range("SimNet::send: unknown node id");
+  }
+  if (from == to) return;
+  schedule(from, to, std::move(payload));
+}
+
+void SimNet::broadcast(NodeId from,
+                       const std::vector<std::uint8_t>& payload) {
+  auto shared = std::make_shared<const std::vector<std::uint8_t>>(payload);
+  for (NodeId to = 0; to < handlers_.size(); ++to) {
+    if (to != from) schedule(from, to, shared);
+  }
+}
+
+void SimNet::deliver(const Pending& msg) {
+  TraceEntry entry;
+  entry.time = msg.at;
+  entry.seq = msg.seq;
+  entry.from = msg.from;
+  entry.to = msg.to;
+  entry.payload_hash = crypto::Hasher(crypto::Domain::kGeneric)
+                           .write_bytes(*msg.payload)
+                           .finalize();
+  if (msg.dropped) {
+    entry.outcome = TraceEntry::Outcome::kDropped;
+    ++stats_.dropped;
+  } else if (!reachable(msg.from, msg.to)) {
+    entry.outcome = TraceEntry::Outcome::kPartitioned;
+    ++stats_.partitioned;
+  } else {
+    entry.outcome = TraceEntry::Outcome::kDelivered;
+    ++stats_.delivered;
+  }
+  trace_.push_back(entry);
+  if (entry.outcome == TraceEntry::Outcome::kDelivered) {
+    handlers_[msg.to](msg.from, std::span<const std::uint8_t>(*msg.payload));
+  }
+}
+
+bool SimNet::step() {
+  if (queue_.empty()) return false;
+  Pending msg = queue_.top();
+  queue_.pop();
+  now_ = msg.at;
+  deliver(msg);
+  return true;
+}
+
+void SimNet::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().at <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+std::size_t SimNet::run_until_idle(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (step()) {
+    if (++processed > max_events) {
+      throw std::runtime_error("SimNet: gossip did not quiesce");
+    }
+  }
+  return processed;
+}
+
+}  // namespace zendoo::net

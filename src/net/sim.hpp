@@ -1,0 +1,159 @@
+// Deterministic discrete-event network simulator.
+//
+// SimNet models the only things the §5.1 fork-resolution argument cares
+// about: messages between nodes take time, can be lost, and a partition
+// cuts delivery entirely. There is no wall clock and no thread — time is
+// a uint64 tick counter advanced by popping a (time, seq)-ordered event
+// queue, and every random decision (per-message latency, drops) comes
+// from one seeded Rng. Two runs from the same seed therefore produce the
+// byte-identical delivery trace, which is what lets randomized
+// convergence tests print a reproducing seed instead of a flake.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/hash.hpp"
+#include "crypto/rng.hpp"
+
+namespace zendoo::net {
+
+using NodeId = std::uint32_t;
+using SimTime = std::uint64_t;
+
+/// Per-link delivery model. Latency is drawn uniformly from
+/// [latency_min, latency_max]; a message is lost with probability
+/// drop_num/drop_den (decided at send time, so the event stream stays
+/// deterministic under identical send orders).
+struct LinkParams {
+  SimTime latency_min = 1;
+  SimTime latency_max = 4;
+  std::uint32_t drop_num = 0;
+  std::uint32_t drop_den = 1;
+
+  friend bool operator==(const LinkParams&, const LinkParams&) = default;
+};
+
+/// One delivery attempt, recorded for replay-identity checks.
+struct TraceEntry {
+  enum class Outcome : std::uint8_t {
+    kDelivered,
+    kDropped,      ///< lost to the link's drop model
+    kPartitioned,  ///< in flight across a cut when it arrived
+  };
+
+  SimTime time = 0;
+  std::uint64_t seq = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  crypto::Digest payload_hash;
+  Outcome outcome = Outcome::kDelivered;
+
+  friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
+};
+
+class SimNet {
+ public:
+  /// Called on the receiving node for each delivered message.
+  using Handler =
+      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+
+  explicit SimNet(std::uint64_t seed) : rng_(seed) {}
+
+  /// Registers a node; ids are dense and assigned in call order.
+  NodeId add_node(Handler handler);
+  [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+
+  /// Link model applied to every pair without an explicit override.
+  void set_default_link(const LinkParams& link) { default_link_ = link; }
+  [[nodiscard]] const LinkParams& default_link() const {
+    return default_link_;
+  }
+  /// Symmetric per-pair override.
+  void set_link(NodeId a, NodeId b, const LinkParams& link);
+
+  /// Splits the network: reachability is judged at each message's
+  /// delivery tick, so a message is lost iff the cut still separates its
+  /// endpoints when it arrives — in-flight packets die with a cut that
+  /// outlives their latency, but a cut that heals before delivery lets
+  /// them through. Unlisted nodes form one implicit extra group.
+  void partition(const std::vector<std::vector<NodeId>>& groups);
+  /// Removes the partition; in-flight messages arriving after this
+  /// instant are delivered normally.
+  void heal();
+  [[nodiscard]] bool reachable(NodeId a, NodeId b) const {
+    return group_of_.empty() || group_of_[a] == group_of_[b];
+  }
+
+  /// Schedules a message; delivery happens at now + link latency.
+  void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
+  /// Same, sharing one payload buffer across many sends (relay fan-out).
+  void send(NodeId from, NodeId to,
+            std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  /// Sends to every other node (ascending id order, deterministic).
+  void broadcast(NodeId from, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  /// Delivers the next scheduled event. Returns false when idle.
+  bool step();
+  /// Delivers every event scheduled at or before `t`; now() ends at `t`.
+  void run_until(SimTime t);
+  /// Drains the queue (handlers may keep scheduling); returns events
+  /// processed. Throws std::runtime_error past `max_events` — a gossip
+  /// storm that never quiesces is a bug, not a workload.
+  std::size_t run_until_idle(std::size_t max_events = 1'000'000);
+
+  /// Full delivery trace since construction, for replay-identity checks.
+  [[nodiscard]] const std::vector<TraceEntry>& trace() const {
+    return trace_;
+  }
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t partitioned = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    SimTime at = 0;
+    std::uint64_t seq = 0;  ///< send order, breaks same-tick ties
+    NodeId from = 0;
+    NodeId to = 0;
+    /// Shared so a broadcast does not copy the payload per receiver.
+    std::shared_ptr<const std::vector<std::uint8_t>> payload;
+    bool dropped = false;  ///< lost to the drop model (decided at send)
+  };
+  struct LaterFirst {
+    bool operator()(const Pending& a, const Pending& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] const LinkParams& link_between(NodeId a, NodeId b) const;
+  void schedule(NodeId from, NodeId to,
+                std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  void deliver(const Pending& msg);
+
+  crypto::Rng rng_;
+  std::vector<Handler> handlers_;
+  LinkParams default_link_;
+  /// Key: (min(a,b) << 32) | max(a,b).
+  std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
+  /// Empty = fully connected; else group_of_[id] labels the partition.
+  std::vector<std::uint32_t> group_of_;
+  std::priority_queue<Pending, std::vector<Pending>, LaterFirst> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<TraceEntry> trace_;
+  Stats stats_;
+};
+
+}  // namespace zendoo::net

@@ -47,6 +47,22 @@ inline std::size_t fund_users(core::Engine& engine,
   return users.size();
 }
 
+/// Maybe queue one random-amount forward transfer from the engine's miner
+/// wallet to a random user (network-simulation traffic: FTs mined inside
+/// a partition race may die with the losing branch). Returns the number
+/// queued (0 when the dice or wallet funds say no).
+inline std::size_t queue_random_fts(core::Engine& engine,
+                                    const core::SidechainId& id,
+                                    const std::vector<crypto::KeyPair>& users,
+                                    crypto::Rng& rng) {
+  if (!rng.chance(1, 2)) return 0;
+  const auto& user = users[rng.next_below(users.size())];
+  return engine.queue_forward_transfer(id, user.address(), user.address(),
+                                       1'000 + rng.next_below(9'000))
+             ? 1
+             : 0;
+}
+
 /// Submit one random self-contained payment per funded user: each user
 /// spends one of their UTXOs to a randomly chosen receiver (change to
 /// self). Returns the number of payments submitted.

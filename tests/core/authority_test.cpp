@@ -33,7 +33,7 @@ class AuthorityTest : public ::testing::Test {
   mainchain::Block mine_and_observe(const mainchain::Mempool& pool) {
     mainchain::Block out;
     auto r = miner_.mine_and_submit(pool, &out);
-    if (!r.accepted) throw std::logic_error(r.error);
+    if (!r.accepted()) throw std::logic_error(r.error);
     std::string err = sc_.observe_mc_block(out);
     if (!err.empty()) throw std::logic_error(err);
     return out;
@@ -122,7 +122,7 @@ TEST_F(AuthorityTest, BtrsAreDisabled) {
   pool.btrs.push_back(btr);
   mainchain::Block b;
   auto r = miner_.mine_and_submit(pool, &b);
-  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(r.accepted());
   EXPECT_TRUE(b.btrs.empty());
   ASSERT_EQ(sc_.observe_mc_block(b), "");
 }
@@ -148,7 +148,7 @@ TEST_F(AuthorityTest, ExitReceiptRedeemsAfterCease) {
   cpool.csws.push_back(csw);
   mainchain::Block b;
   auto r = miner_.mine_and_submit(cpool, &b);
-  ASSERT_TRUE(r.accepted) << r.error;
+  ASSERT_TRUE(r.accepted()) << r.error;
   ASSERT_EQ(b.csws.size(), 1u);
   EXPECT_EQ(chain_.state().balance_of(user_.address()), 4'000u);
   // Replay blocked by nullifier.

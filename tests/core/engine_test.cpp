@@ -351,7 +351,7 @@ TEST_F(EngineTest, ReorgResyncFollowsActiveChain) {
     blk.header.sc_txs_commitment = blk.build_commitment_tree().root();
     mainchain::Miner::solve_pow(blk, engine_.mc().params().pow_target);
     auto result = engine_.mc().submit_block(blk);
-    ASSERT_TRUE(result.accepted) << result.error;
+    ASSERT_TRUE(result.accepted()) << result.error;
     prev = blk.hash();
   }
   ASSERT_EQ(engine_.mc().height(), fork_height + 2);
@@ -406,7 +406,7 @@ TEST_F(EngineTest, DeepReorgResyncRollsBackToCheckpoint) {
     mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
     prev = blk.hash();
     auto result = engine_.mc().submit_block(blk);
-    ASSERT_TRUE(result.accepted) << result.error;
+    ASSERT_TRUE(result.accepted()) << result.error;
   }
   ASSERT_EQ(engine_.mc().height(), 13u);
 
@@ -440,7 +440,7 @@ TEST_F(EngineTest, ResyncHonoursDisabledAutoCertificates) {
     mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
     prev = blk.hash();
     auto result = engine_.mc().submit_block(blk);
-    ASSERT_TRUE(result.accepted) << result.error;
+    ASSERT_TRUE(result.accepted()) << result.error;
   }
   engine_.resync_sidechains_after_reorg();
   EXPECT_TRUE(engine_.mempool().certificates.empty());
@@ -464,7 +464,7 @@ TEST_F(EngineTest, ReorgBelowOldestCheckpointRebuildsNode) {
     mainchain::Block blk = rival_block(engine_, prev, h, bob_.address());
     prev = blk.hash();
     auto result = engine_.mc().submit_block(blk);
-    ASSERT_TRUE(result.accepted) << result.error;
+    ASSERT_TRUE(result.accepted()) << result.error;
   }
   ASSERT_EQ(engine_.mc().height(), 7u);
 

@@ -143,7 +143,7 @@ TEST(ForkChoiceFuzz, IncrementalStateMatchesReplay) {
     b.header.sc_txs_commitment = b.build_commitment_tree().root();
     mainchain::Miner::solve_pow(b, chain.params().pow_target);
     auto result = chain.submit_block(b);
-    ASSERT_TRUE(result.accepted) << result.error;
+    ASSERT_TRUE(result.accepted()) << result.error;
     tips.push_back(b.hash());
     height_of[b.hash()] = b.header.height;
 

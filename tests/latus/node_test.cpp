@@ -37,7 +37,7 @@ class NodeTest : public ::testing::Test {
   mainchain::Block mine_and_observe(const mainchain::Mempool& pool) {
     mainchain::Block out;
     auto r = miner_.mine_and_submit(pool, &out);
-    if (!r.accepted) throw std::logic_error(r.error);
+    if (!r.accepted()) throw std::logic_error(r.error);
     std::string err = node_.observe_mc_block(out);
     if (!err.empty()) throw std::logic_error(err);
     return out;
@@ -62,10 +62,10 @@ class NodeTest : public ::testing::Test {
 TEST_F(NodeTest, ObserveRequiresOrder) {
   mainchain::Block b1;
   auto r = miner_.mine_and_submit({}, &b1);
-  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(r.accepted());
   mainchain::Block b2;
   r = miner_.mine_and_submit({}, &b2);
-  ASSERT_TRUE(r.accepted);
+  ASSERT_TRUE(r.accepted());
   // Feeding block 3 (b2) before block 2 (b1) must fail.
   EXPECT_NE(node_.observe_mc_block(b2), "");
   EXPECT_EQ(node_.observe_mc_block(b1), "");

@@ -131,7 +131,7 @@ class OwnershipProofTest : public ::testing::Test {
   void step(const mainchain::Mempool& pool) {
     mainchain::Block out;
     auto r = miner_.mine_and_submit(pool, &out);
-    if (!r.accepted) throw std::logic_error(r.error);
+    if (!r.accepted()) throw std::logic_error(r.error);
     std::string err = node_.observe_mc_block(out);
     if (!err.empty()) throw std::logic_error(err);
     err = node_.forge_until_synced();

@@ -49,11 +49,35 @@ class MainchainTest : public ::testing::Test {
     return p;
   }
 
+  /// Hand-build a mined empty block on an arbitrary parent (for rival
+  /// branches and out-of-order submission, independent of the miner's
+  /// tip-following assembly).
+  Block make_block_on(const Digest& prev, std::uint64_t height,
+                      const Address& payee, std::uint64_t salt = 0) {
+    Block b;
+    b.header.prev_hash = prev;
+    b.header.height = height;
+    Transaction cb;
+    cb.is_coinbase = true;
+    cb.coinbase_height = height;
+    cb.outputs.push_back(TxOutput{payee, chain_.params().block_subsidy});
+    if (salt != 0) {  // vary the coinbase so sibling blocks differ
+      cb.outputs.push_back(
+          TxOutput{crypto::Hasher(Domain::kGeneric).write_u64(salt).finalize(),
+                   0});
+    }
+    b.transactions.push_back(cb);
+    b.header.tx_merkle_root = b.compute_tx_merkle_root();
+    b.header.sc_txs_commitment = b.build_commitment_tree().root();
+    Miner::solve_pow(b, chain_.params().pow_target);
+    return b;
+  }
+
   /// Mine a block containing exactly the given pool (throws on rejection).
   Block mine(const Mempool& pool) {
     Block out;
     auto result = miner_.mine_and_submit(pool, &out);
-    if (!result.accepted) throw std::logic_error(result.error);
+    if (!result.accepted()) throw std::logic_error(result.error);
     return out;
   }
 
@@ -150,7 +174,7 @@ TEST_F(MainchainTest, ForeignSignatureRejected) {
   block.header.sc_txs_commitment = block.build_commitment_tree().root();
   Miner::solve_pow(block, chain_.params().pow_target);
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.error.find("public key"), std::string::npos);
 }
 
@@ -166,7 +190,7 @@ TEST_F(MainchainTest, DoubleSpendWithinBlockRejected) {
   block.header.sc_txs_commitment = block.build_commitment_tree().root();
   Miner::solve_pow(block, chain_.params().pow_target);
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
 }
 
 TEST_F(MainchainTest, DuplicateInputWithinTransactionRejected) {
@@ -187,7 +211,7 @@ TEST_F(MainchainTest, DuplicateInputWithinTransactionRejected) {
   block.header.sc_txs_commitment = block.build_commitment_tree().root();
   Miner::solve_pow(block, chain_.params().pow_target);
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.error.find("same output twice"), std::string::npos);
 }
 
@@ -214,7 +238,7 @@ TEST_F(MainchainTest, OverspendRejected) {
   block.header.tx_merkle_root = block.compute_tx_merkle_root();
   block.header.sc_txs_commitment = block.build_commitment_tree().root();
   Miner::solve_pow(block, chain_.params().pow_target);
-  EXPECT_FALSE(chain_.submit_block(block).accepted);
+  EXPECT_FALSE(chain_.submit_block(block).accepted());
 }
 
 TEST_F(MainchainTest, PowRequired) {
@@ -224,7 +248,7 @@ TEST_F(MainchainTest, PowRequired) {
     ++block.header.nonce;
   }
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_EQ(result.error, "insufficient proof of work");
 }
 
@@ -233,7 +257,7 @@ TEST_F(MainchainTest, TamperedBodyRejected) {
   block.transactions[0].outputs[0].amount += 1;  // body no longer matches root
   Miner::solve_pow(block, chain_.params().pow_target);
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_EQ(result.error, "tx merkle root mismatch");
 }
 
@@ -244,7 +268,7 @@ TEST_F(MainchainTest, ExcessiveCoinbaseRejected) {
   block.header.tx_merkle_root = block.compute_tx_merkle_root();
   Miner::solve_pow(block, chain_.params().pow_target);
   auto result = chain_.submit_block(block);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.error.find("coinbase"), std::string::npos);
 }
 
@@ -593,7 +617,7 @@ TEST_F(MainchainTest, LongerBranchWinsAndStateFollows) {
   b1.header.sc_txs_commitment = b1.build_commitment_tree().root();
   Miner::solve_pow(b1, chain_.params().pow_target);
   auto r1 = chain_.submit_block(b1);
-  EXPECT_TRUE(r1.accepted);
+  EXPECT_TRUE(r1.accepted());
   EXPECT_FALSE(r1.reorged);  // same height as branch A tip? No: equal height -> no switch
   // bob still has branch-A coins.
   EXPECT_EQ(chain_.state().balance_of(bob_.address()), 123u);
@@ -610,7 +634,7 @@ TEST_F(MainchainTest, LongerBranchWinsAndStateFollows) {
   b2.header.sc_txs_commitment = b2.build_commitment_tree().root();
   Miner::solve_pow(b2, chain_.params().pow_target);
   auto r2 = chain_.submit_block(b2);
-  EXPECT_TRUE(r2.accepted);
+  EXPECT_TRUE(r2.accepted());
   EXPECT_TRUE(r2.reorged);
 
   // Branch A's payment is gone; bob owns two branch-B coinbases instead.
@@ -619,19 +643,159 @@ TEST_F(MainchainTest, LongerBranchWinsAndStateFollows) {
   EXPECT_EQ(chain_.tip_hash(), b2.hash());
 }
 
-TEST_F(MainchainTest, DuplicateBlockRejected) {
+// ---- submit_block result codes & orphan pool (the gossip contract) ----
+
+TEST_F(MainchainTest, DuplicateSubmitIsIdempotent) {
   Block b = miner_.build_block({});
-  EXPECT_TRUE(chain_.submit_block(b).accepted);
+  auto first = chain_.submit_block(b);
+  EXPECT_EQ(first.code, SubmitCode::kAccepted);
+  EXPECT_TRUE(first.accepted());
+  Digest fingerprint = chain_.state().state_fingerprint();
+
   auto again = chain_.submit_block(b);
-  EXPECT_FALSE(again.accepted);
-  EXPECT_EQ(again.error, "duplicate block");
+  EXPECT_EQ(again.code, SubmitCode::kDuplicate);
+  EXPECT_FALSE(again.accepted());
+  EXPECT_TRUE(again.error.empty()) << again.error;  // a no-op, not an error
+  EXPECT_EQ(again.connected, 0u);
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_EQ(chain_.state().state_fingerprint(), fingerprint);
 }
 
-TEST_F(MainchainTest, UnknownParentRejected) {
+TEST_F(MainchainTest, InvalidBlockReportsInvalidCode) {
+  Block b = miner_.build_block({});
+  while (b.hash().as_u256() < chain_.params().pow_target) ++b.header.nonce;
+  auto result = chain_.submit_block(b);
+  EXPECT_EQ(result.code, SubmitCode::kInvalid);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_EQ(result.error, "insufficient proof of work");
+}
+
+TEST_F(MainchainTest, SecondGenesisRejected) {
+  Block b = miner_.build_block({});
+  b.header.prev_hash = Digest{};
+  b.header.height = 0;
+  Miner::solve_pow(b, chain_.params().pow_target);
+  auto result = chain_.submit_block(b);
+  EXPECT_EQ(result.code, SubmitCode::kInvalid);
+  EXPECT_NE(result.error.find("genesis"), std::string::npos);
+}
+
+TEST_F(MainchainTest, UnknownParentIsOrphaned) {
   Block b = miner_.build_block({});
   b.header.prev_hash = hash_str(Domain::kGeneric, "nowhere");
   Miner::solve_pow(b, chain_.params().pow_target);
-  EXPECT_EQ(chain_.submit_block(b).error, "unknown parent block");
+  auto result = chain_.submit_block(b);
+  EXPECT_EQ(result.code, SubmitCode::kOrphaned);
+  EXPECT_FALSE(result.accepted());
+  EXPECT_TRUE(chain_.has_orphan(b.hash()));
+  EXPECT_EQ(chain_.height(), 0u);
+  // Buffered orphans are deduplicated too.
+  EXPECT_EQ(chain_.submit_block(b).code, SubmitCode::kDuplicate);
+}
+
+TEST_F(MainchainTest, OrphanConnectsWhenParentArrives) {
+  miner_.mine_empty(1);
+  Block parent = make_block_on(chain_.tip_hash(), 2, bob_.address());
+  Block child = make_block_on(parent.hash(), 3, bob_.address());
+
+  // Child first (out-of-order delivery): buffered, chain unmoved.
+  auto r1 = chain_.submit_block(child);
+  EXPECT_EQ(r1.code, SubmitCode::kOrphaned);
+  EXPECT_EQ(chain_.height(), 1u);
+  ASSERT_TRUE(chain_.has_orphan(child.hash()));
+
+  // Parent arrives: both connect in one submit.
+  auto r2 = chain_.submit_block(parent);
+  EXPECT_EQ(r2.code, SubmitCode::kAccepted);
+  EXPECT_EQ(r2.connected, 2u);
+  EXPECT_EQ(r2.orphans_connected, 1u);
+  EXPECT_EQ(chain_.height(), 3u);
+  EXPECT_EQ(chain_.tip_hash(), child.hash());
+  EXPECT_EQ(chain_.orphan_count(), 0u);
+}
+
+TEST_F(MainchainTest, ReversedChainConnectsThroughOrphanPool) {
+  // Deliver an entire 4-block branch tip-first: everything buffers, then
+  // the final (lowest) block zips the whole chain together.
+  std::vector<Block> branch;
+  Digest prev = chain_.genesis().hash();
+  for (std::uint64_t h = 1; h <= 4; ++h) {
+    branch.push_back(make_block_on(prev, h, bob_.address()));
+    prev = branch.back().hash();
+  }
+  for (std::size_t i = branch.size(); i-- > 1;) {
+    EXPECT_EQ(chain_.submit_block(branch[i]).code, SubmitCode::kOrphaned);
+  }
+  EXPECT_EQ(chain_.orphan_count(), 3u);
+  auto result = chain_.submit_block(branch[0]);
+  EXPECT_EQ(result.code, SubmitCode::kAccepted);
+  EXPECT_EQ(result.connected, 4u);
+  EXPECT_EQ(result.orphans_connected, 3u);
+  EXPECT_EQ(chain_.tip_hash(), branch.back().hash());
+  EXPECT_EQ(chain_.orphan_count(), 0u);
+}
+
+TEST_F(MainchainTest, OrphanPoolSizeBounded) {
+  ChainParams params;
+  params.max_orphan_blocks = 4;
+  Blockchain chain(params);
+  Miner miner(chain, alice_.address());
+  // Spam disconnected blocks at increasing heights; the pool must keep
+  // only the 4 nearest the tip (heights 1..4).
+  std::vector<Block> spam;
+  for (std::uint64_t h = 1; h <= 8; ++h) {
+    Block b;
+    b.header.prev_hash = hash_str(Domain::kGeneric, "void" + std::to_string(h));
+    b.header.height = h;
+    b.header.tx_merkle_root = b.compute_tx_merkle_root();
+    b.header.sc_txs_commitment = b.build_commitment_tree().root();
+    Miner::solve_pow(b, params.pow_target);
+    spam.push_back(b);
+    chain.submit_block(b);
+    EXPECT_LE(chain.orphan_count(), params.max_orphan_blocks);
+  }
+  EXPECT_EQ(chain.orphan_count(), params.max_orphan_blocks);
+  for (std::uint64_t h = 1; h <= 4; ++h) {
+    EXPECT_TRUE(chain.has_orphan(spam[h - 1].hash())) << "height " << h;
+  }
+  for (std::uint64_t h = 5; h <= 8; ++h) {
+    EXPECT_FALSE(chain.has_orphan(spam[h - 1].hash())) << "height " << h;
+  }
+}
+
+TEST_F(MainchainTest, OrphanHeightWindowEviction) {
+  ChainParams params;
+  params.orphan_height_window = 2;
+  Blockchain chain(params);
+  Miner miner(chain, alice_.address());
+
+  // Far above the window: still reported kOrphaned (the parent IS
+  // unknown, and callers must backfill) but not retained — redelivering
+  // it later, once the tip has caught up, re-triggers the same path.
+  Block far;
+  far.header.prev_hash = hash_str(Domain::kGeneric, "void-far");
+  far.header.height = 10;
+  far.header.tx_merkle_root = far.compute_tx_merkle_root();
+  far.header.sc_txs_commitment = far.build_commitment_tree().root();
+  Miner::solve_pow(far, params.pow_target);
+  auto refused = chain.submit_block(far);
+  EXPECT_EQ(refused.code, SubmitCode::kOrphaned);
+  EXPECT_FALSE(chain.has_orphan(far.hash()));
+  EXPECT_EQ(chain.orphan_count(), 0u);
+  // Not a duplicate on redelivery — the retry path stays open.
+  EXPECT_EQ(chain.submit_block(far).code, SubmitCode::kOrphaned);
+
+  // Inside the window: buffered — until the tip outruns it.
+  Block near;
+  near.header.prev_hash = hash_str(Domain::kGeneric, "void-near");
+  near.header.height = 2;
+  near.header.tx_merkle_root = near.compute_tx_merkle_root();
+  near.header.sc_txs_commitment = near.build_commitment_tree().root();
+  Miner::solve_pow(near, params.pow_target);
+  EXPECT_EQ(chain.submit_block(near).code, SubmitCode::kOrphaned);
+  EXPECT_EQ(chain.orphan_count(), 1u);
+  miner.mine_empty(6);  // tip height 6; window [5, 9] no longer covers 2
+  EXPECT_EQ(chain.orphan_count(), 0u);
 }
 
 // ---- SCTxsCommitment in headers (§4.1.3) ----
@@ -661,7 +825,7 @@ TEST_F(MainchainTest, WrongCommitmentRejected) {
   b.header.sc_txs_commitment = hash_str(Domain::kGeneric, "bogus");
   Miner::solve_pow(b, chain_.params().pow_target);
   auto result = chain_.submit_block(b);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_NE(result.error.find("commitment"), std::string::npos);
 }
 

@@ -59,6 +59,32 @@ WithdrawalCertificate random_cert(Rng& rng) {
   return cert;
 }
 
+BtrRequest random_btr(Rng& rng) {
+  BtrRequest btr;
+  btr.ledger_id = rng.next_digest();
+  btr.receiver = rng.next_digest();
+  btr.amount = rng.next_below(100);
+  btr.nullifier = rng.next_digest();
+  for (std::uint64_t i = 0; i < rng.next_below(3); ++i) {
+    btr.proofdata.push_back(rng.next_digest());
+  }
+  btr.proof.binding = rng.next_digest();
+  return btr;
+}
+
+CeasedSidechainWithdrawal random_csw(Rng& rng) {
+  CeasedSidechainWithdrawal csw;
+  csw.ledger_id = rng.next_digest();
+  csw.receiver = rng.next_digest();
+  csw.amount = 1 + rng.next_below(1000);
+  csw.nullifier = rng.next_digest();
+  for (std::uint64_t i = 0; i < rng.next_below(3); ++i) {
+    csw.proofdata.push_back(rng.next_digest());
+  }
+  csw.proof.binding = rng.next_digest();
+  return csw;
+}
+
 Block random_block(Rng& rng) {
   Block b;
   b.header.prev_hash = rng.next_digest();
@@ -81,13 +107,10 @@ Block random_block(Rng& rng) {
     b.certificates.push_back(random_cert(rng));
   }
   for (std::uint64_t i = 0; i < rng.next_below(2); ++i) {
-    BtrRequest btr;
-    btr.ledger_id = rng.next_digest();
-    btr.receiver = rng.next_digest();
-    btr.amount = rng.next_below(100);
-    btr.nullifier = rng.next_digest();
-    btr.proof.binding = rng.next_digest();
-    b.btrs.push_back(btr);
+    b.btrs.push_back(random_btr(rng));
+  }
+  for (std::uint64_t i = 0; i < rng.next_below(2); ++i) {
+    b.csws.push_back(random_csw(rng));
   }
   b.header.tx_merkle_root = b.compute_tx_merkle_root();
   b.header.sc_txs_commitment = hash_str(Domain::kGeneric, "whatever");
@@ -131,6 +154,66 @@ TEST(Codec, CertificateRoundTrip) {
     r.expect_done();
     EXPECT_EQ(back.hash(), cert.hash());
   }
+}
+
+TEST(Codec, GossipedBlockShapesRoundTrip) {
+  // The network simulator ships whole blocks over the wire: every shape a
+  // NetNode can gossip must survive encode -> decode with identity
+  // preserved AND re-encode byte-identically (peers hash wire payloads
+  // for the delivery trace, so the encoding must be canonical).
+  Rng rng(8);
+  auto check = [](const Block& b, const char* what) {
+    auto bytes = encode_block(b);
+    Block back = decode_block(bytes);
+    EXPECT_EQ(back.hash(), b.hash()) << what;
+    ASSERT_EQ(back.certificates.size(), b.certificates.size()) << what;
+    for (std::size_t i = 0; i < b.certificates.size(); ++i) {
+      EXPECT_EQ(back.certificates[i].hash(), b.certificates[i].hash());
+    }
+    ASSERT_EQ(back.btrs.size(), b.btrs.size()) << what;
+    for (std::size_t i = 0; i < b.btrs.size(); ++i) {
+      EXPECT_EQ(back.btrs[i].hash(), b.btrs[i].hash());
+    }
+    ASSERT_EQ(back.csws.size(), b.csws.size()) << what;
+    for (std::size_t i = 0; i < b.csws.size(); ++i) {
+      EXPECT_EQ(back.csws[i].hash(), b.csws[i].hash());
+    }
+    EXPECT_EQ(encode_block(back), bytes) << what << ": not canonical";
+  };
+
+  // Empty block — what a tip announcement for a quiet chain carries.
+  Block empty;
+  empty.header.prev_hash = rng.next_digest();
+  empty.header.height = 7;
+  empty.header.tx_merkle_root = empty.compute_tx_merkle_root();
+  empty.header.sc_txs_commitment = hash_str(Domain::kGeneric, "empty");
+  check(empty, "empty block");
+
+  // Certificate-carrying block with BT payouts and proofdata — the
+  // §5.1-critical payload a reorg can orphan and re-deliver.
+  Block cert_block;
+  cert_block.header.prev_hash = rng.next_digest();
+  cert_block.header.height = 9;
+  cert_block.transactions.push_back(random_tx(rng, /*coinbase=*/true));
+  cert_block.certificates.push_back(random_cert(rng));
+  cert_block.certificates.push_back(random_cert(rng));
+  cert_block.header.tx_merkle_root = cert_block.compute_tx_merkle_root();
+  cert_block.header.sc_txs_commitment = hash_str(Domain::kGeneric, "certs");
+  check(cert_block, "certificate block");
+
+  // CSW-carrying block (ceased-sidechain recovery traffic).
+  Block csw_block;
+  csw_block.header.prev_hash = rng.next_digest();
+  csw_block.header.height = 11;
+  csw_block.transactions.push_back(random_tx(rng, /*coinbase=*/true));
+  csw_block.csws.push_back(random_csw(rng));
+  csw_block.btrs.push_back(random_btr(rng));
+  csw_block.header.tx_merkle_root = csw_block.compute_tx_merkle_root();
+  csw_block.header.sc_txs_commitment = hash_str(Domain::kGeneric, "csws");
+  check(csw_block, "csw block");
+
+  // And everything at once, fuzzed.
+  for (int i = 0; i < 20; ++i) check(random_block(rng), "random block");
 }
 
 TEST(Codec, TruncationAtEveryPointRejected) {

@@ -125,7 +125,7 @@ TEST_F(ReorgTest, DifferentialAgainstFromGenesisReplay) {
       Mempool pool;
       pool.sidechain_creations.push_back(p);
       pool.sidechain_creations.push_back(doomed);
-      ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+      ASSERT_TRUE(miner.mine_and_submit(pool).accepted());
     }
     while (chain.height() < kLength) {
       Mempool pool;
@@ -140,7 +140,7 @@ TEST_F(ReorgTest, DifferentialAgainstFromGenesisReplay) {
         auto tx = wallet.pay(chain.state(), bob_.address(), 1'000);
         if (tx) pool.transactions.push_back(std::move(*tx));
       }
-      ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+      ASSERT_TRUE(miner.mine_and_submit(pool).accepted());
     }
 
     // Rival branch: depth+1 empty blocks from (kLength - depth).
@@ -152,7 +152,7 @@ TEST_F(ReorgTest, DifferentialAgainstFromGenesisReplay) {
                                   /*salt=*/static_cast<std::uint32_t>(depth));
       prev = b.hash();
       last = chain.submit_block(b);
-      ASSERT_TRUE(last.accepted) << "depth " << depth << ": " << last.error;
+      ASSERT_TRUE(last.accepted()) << "depth " << depth << ": " << last.error;
     }
     ASSERT_TRUE(last.reorged) << "depth " << depth;
     EXPECT_EQ(last.disconnected, depth) << "depth " << depth;
@@ -178,11 +178,11 @@ TEST_F(ReorgTest, MaxReorgDepthEnforced) {
   for (std::uint64_t h = fork_height + 1; h <= 20; ++h) {
     Block b = make_branch_block(chain, prev, h, bob_.address());
     prev = b.hash();
-    ASSERT_TRUE(chain.submit_block(b).accepted);  // stored side branch
+    ASSERT_TRUE(chain.submit_block(b).accepted());  // stored side branch
   }
   Block overtake = make_branch_block(chain, prev, 21, bob_.address());
   auto result = chain.submit_block(overtake);
-  EXPECT_FALSE(result.accepted);
+  EXPECT_FALSE(result.accepted());
   EXPECT_FALSE(result.reorged);
   EXPECT_NE(result.error.find("max_reorg_depth"), std::string::npos);
   EXPECT_EQ(chain.tip_hash(), tip_before);
@@ -196,7 +196,7 @@ TEST_F(ReorgTest, MaxReorgDepthEnforced) {
                                 /*salt=*/7);
     prev2 = b.hash();
     last = chain.submit_block(b);
-    ASSERT_TRUE(last.accepted) << last.error;
+    ASSERT_TRUE(last.accepted()) << last.error;
   }
   EXPECT_TRUE(last.reorged);
   EXPECT_EQ(chain.height(), 21u);
@@ -214,14 +214,14 @@ TEST_F(ReorgTest, CeasingFlipsAcrossReorgBoundary) {
   {
     Mempool pool;
     pool.sidechain_creations.push_back(p);
-    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted());
   }
   {
     Mempool pool;  // fund the sidechain so its certificate can pay bob
     pool.transactions.push_back(*wallet.forward_transfer(
         chain.state(), p.ledger_id,
         std::vector<Digest>{hash_str(Domain::kGeneric, "r")}, 500'000));
-    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted());
   }
   while (chain.height() < 4) miner.mine_empty(1);
 
@@ -248,7 +248,7 @@ TEST_F(ReorgTest, CeasingFlipsAcrossReorgBoundary) {
     prev = b.hash();
     branch_b.push_back(b);
     last = chain.submit_block(b);
-    ASSERT_TRUE(last.accepted) << last.error;
+    ASSERT_TRUE(last.accepted()) << last.error;
   }
   ASSERT_TRUE(last.reorged);
   const SidechainStatus* sc = chain.state().find_sidechain(p.ledger_id);
@@ -266,7 +266,7 @@ TEST_F(ReorgTest, CeasingFlipsAcrossReorgBoundary) {
                                 /*salt=*/3);
     prev_a2 = b.hash();
     last = chain.submit_block(b);
-    ASSERT_TRUE(last.accepted) << last.error;
+    ASSERT_TRUE(last.accepted()) << last.error;
   }
   ASSERT_TRUE(last.reorged);
   sc = chain.state().find_sidechain(p.ledger_id);
@@ -285,7 +285,7 @@ TEST_F(ReorgTest, NullifierReleasedByReorg) {
   {
     Mempool pool;
     pool.sidechain_creations.push_back(p);
-    ASSERT_TRUE(miner.mine_and_submit(pool).accepted);
+    ASSERT_TRUE(miner.mine_and_submit(pool).accepted());
   }
   miner.mine_empty(1);
 
@@ -300,7 +300,7 @@ TEST_F(ReorgTest, NullifierReleasedByReorg) {
   btr.proof = *snark::PredicateSnark::prove(pk_, st, std::string("authority"));
   Mempool mp;
   mp.btrs.push_back(btr);
-  ASSERT_TRUE(miner.mine_and_submit(mp).accepted);  // height 3 carries BTR
+  ASSERT_TRUE(miner.mine_and_submit(mp).accepted());  // height 3 carries BTR
   ASSERT_TRUE(chain.state().nullifier_used(p.ledger_id, btr.nullifier));
 
   // Rival branch from height 2 without the BTR overtakes.
@@ -310,7 +310,7 @@ TEST_F(ReorgTest, NullifierReleasedByReorg) {
     Block b = make_branch_block(chain, prev, h, bob_.address());
     prev = b.hash();
     last = chain.submit_block(b);
-    ASSERT_TRUE(last.accepted) << last.error;
+    ASSERT_TRUE(last.accepted()) << last.error;
   }
   ASSERT_TRUE(last.reorged);
   EXPECT_FALSE(chain.state().nullifier_used(p.ledger_id, btr.nullifier));

@@ -1,0 +1,138 @@
+// SimNet unit tests: deterministic replay, latency ordering, drop model,
+// partition semantics. These pin down the simulator contract the
+// convergence tests build on — above all that one seed means one trace.
+#include "net/sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace zendoo::net {
+namespace {
+
+/// A recording endpoint: remembers (from, first payload byte) per delivery.
+struct Sink {
+  std::vector<std::pair<NodeId, std::uint8_t>> got;
+  SimNet::Handler handler() {
+    return [this](NodeId from, std::span<const std::uint8_t> p) {
+      got.emplace_back(from, p.empty() ? 0 : p.front());
+    };
+  }
+};
+
+TEST(SimNet, DeliversInLatencyOrder) {
+  SimNet net(1);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId b = net.add_node(sink.handler());
+  LinkParams slow{10, 10, 0, 1};
+  LinkParams fast{1, 1, 0, 1};
+
+  net.set_default_link(slow);
+  net.send(a, b, {1});  // scheduled at t=10
+  net.set_default_link(fast);
+  net.send(a, b, {2});  // scheduled at t=1
+  net.run_until_idle();
+
+  ASSERT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(sink.got[0].second, 2);  // the fast message overtook the slow one
+  EXPECT_EQ(sink.got[1].second, 1);
+  EXPECT_EQ(net.now(), 10u);
+}
+
+TEST(SimNet, SameTickOrderedBySendSequence) {
+  SimNet net(7);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId b = net.add_node(sink.handler());
+  net.set_default_link({3, 3, 0, 1});
+  for (std::uint8_t i = 0; i < 5; ++i) net.send(a, b, {i});
+  net.run_until_idle();
+  ASSERT_EQ(sink.got.size(), 5u);
+  for (std::uint8_t i = 0; i < 5; ++i) EXPECT_EQ(sink.got[i].second, i);
+}
+
+TEST(SimNet, SameSeedSameTrace) {
+  auto run = [](std::uint64_t seed) {
+    SimNet net(seed);
+    std::vector<NodeId> ids;
+    Sink sink;
+    for (int i = 0; i < 4; ++i) ids.push_back(net.add_node(sink.handler()));
+    net.set_default_link({1, 9, 2, 10});  // jittered, lossy
+    for (std::uint8_t round = 0; round < 10; ++round) {
+      net.broadcast(ids[round % 4], {round});
+      net.run_until(net.now() + 3);
+    }
+    net.run_until_idle();
+    return net.trace();
+  };
+  auto t1 = run(42), t2 = run(42), t3 = run(43);
+  EXPECT_EQ(t1, t2);
+  EXPECT_NE(t1, t3);
+}
+
+TEST(SimNet, DropModelLosesMessages) {
+  SimNet net(5);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node(sink.handler());
+  net.set_default_link({1, 1, 5, 10});  // 50% loss
+  for (std::uint8_t i = 0; i < 100; ++i) net.send(a, 1, {i});
+  net.run_until_idle();
+  EXPECT_GT(net.stats().dropped, 20u);
+  EXPECT_GT(net.stats().delivered, 20u);
+  EXPECT_EQ(net.stats().dropped + net.stats().delivered, 100u);
+  EXPECT_EQ(sink.got.size(), net.stats().delivered);
+}
+
+TEST(SimNet, PartitionCutsCrossTrafficOnly) {
+  SimNet net(9);
+  std::vector<Sink> sinks(4);
+  for (auto& s : sinks) net.add_node(s.handler());
+  net.partition({{0, 1}, {2, 3}});
+  EXPECT_TRUE(net.reachable(0, 1));
+  EXPECT_FALSE(net.reachable(1, 2));
+
+  net.broadcast(0, {7});
+  net.run_until_idle();
+  EXPECT_EQ(sinks[1].got.size(), 1u);  // same side
+  EXPECT_TRUE(sinks[2].got.empty());   // across the cut
+  EXPECT_TRUE(sinks[3].got.empty());
+  EXPECT_EQ(net.stats().partitioned, 2u);
+
+  net.heal();
+  net.broadcast(0, {8});
+  net.run_until_idle();
+  EXPECT_EQ(sinks[2].got.size(), 1u);
+  EXPECT_EQ(sinks[3].got.size(), 1u);
+}
+
+TEST(SimNet, InFlightMessagesLostWhenCutMidFlight) {
+  SimNet net(11);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node(sink.handler());
+  net.set_default_link({10, 10, 0, 1});
+  net.send(a, 1, {1});     // in flight until t=10
+  net.partition({{0}, {1}});  // the link is cut under it
+  net.run_until_idle();
+  EXPECT_TRUE(sink.got.empty());
+  EXPECT_EQ(net.stats().partitioned, 1u);
+}
+
+TEST(SimNet, UnlistedNodesFormImplicitGroup) {
+  SimNet net(13);
+  std::vector<Sink> sinks(3);
+  for (auto& s : sinks) net.add_node(s.handler());
+  net.partition({{0}});  // 1 and 2 stay connected to each other
+  EXPECT_FALSE(net.reachable(0, 1));
+  EXPECT_TRUE(net.reachable(1, 2));
+}
+
+TEST(SimNet, RunUntilAdvancesClockPastIdle) {
+  SimNet net(17);
+  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.run_until(100);
+  EXPECT_EQ(net.now(), 100u);
+}
+
+}  // namespace
+}  // namespace zendoo::net
