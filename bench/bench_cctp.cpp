@@ -6,7 +6,7 @@
 // withdrawal-epoch cycle (Figs. 6-8, 11, 14) vs per-epoch payment count —
 // including epoch proof generation, certificate submission and MC-side
 // finalization.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "core/engine.hpp"
 #include "sim/workload.hpp"
@@ -122,4 +122,4 @@ BENCHMARK(BM_BtrRoundTrip)->Unit(benchmark::kMillisecond)->Iterations(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("cctp");

@@ -2,7 +2,7 @@
 //
 // Series: commitment build vs #sidechains and #txs per sidechain;
 // membership proof (mproof) and proof-of-no-data generation/verification.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "crypto/rng.hpp"
 #include "merkle/commitment.hpp"
@@ -83,4 +83,4 @@ BENCHMARK(BM_CommitmentAbsence)->RangeMultiplier(4)->Range(1, 256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("commitment");

@@ -5,7 +5,7 @@
 // prefix-sum build), full epoch schedule, stake snapshot construction, and
 // a leader-share distribution counter confirming selection is
 // stake-proportional.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "crypto/rng.hpp"
 #include "latus/consensus.hpp"
@@ -89,4 +89,4 @@ BENCHMARK(BM_LeaderShareFairness)->Iterations(20000);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("consensus");

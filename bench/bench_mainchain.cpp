@@ -4,7 +4,7 @@
 // Series: block validation/connection vs payment count (signature-bound),
 // epoch bookkeeping (finalization sweep) vs number of registered
 // sidechains, and PoW mining cost at the simulation target.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "mainchain/miner.hpp"
 
@@ -101,4 +101,4 @@ BENCHMARK(BM_PowMining);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("mainchain");

@@ -2,7 +2,7 @@
 //
 // Series: build time vs leaf count (linear), proof generation (O(log n)),
 // proof verification (O(log n)), proof size in hashes (log n).
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "crypto/rng.hpp"
 #include "merkle/mht.hpp"
@@ -60,4 +60,4 @@ BENCHMARK(BM_MhtVerify)->RangeMultiplier(4)->Range(16, 16384)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("merkle");

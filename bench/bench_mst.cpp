@@ -4,7 +4,7 @@
 // Series: insert/erase/prove at various depths (all O(depth), independent
 // of capacity thanks to sparsity), delta merge/hash, and the
 // delta-unspentness check across k epochs.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "crypto/rng.hpp"
 #include "merkle/mst.hpp"
@@ -121,4 +121,4 @@ BENCHMARK(BM_DeltaUnspentnessCheck)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("mst");

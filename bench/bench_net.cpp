@@ -6,7 +6,7 @@
 // BM_PartitionRecovery: a 2|2+ split diverges by d blocks per side, then
 // heals — measures the orphan/getblock backfill walk plus the reorg on
 // the losing side.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "net/scenario.hpp"
 
@@ -72,4 +72,4 @@ BENCHMARK(BM_PartitionRecovery)->Arg(2)->Arg(8)->Arg(16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("net");

@@ -6,7 +6,7 @@
 // + n-1 merges, depth ceil(log2 n)); two-level block/epoch composition vs
 // flat; verification constant regardless of chain length; proof size
 // constant (32 bytes).
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "crypto/rng.hpp"
 #include "snark/recursive.hpp"
@@ -149,4 +149,4 @@ BENCHMARK(BM_SequentialMergeAblation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("recursive");

@@ -6,8 +6,7 @@
 // O(d), independent of L. A from-genesis replay (the pre-undo design)
 // would instead scale with L; BM_ReorgVsChainLength makes the difference
 // visible directly.
-#include <benchmark/benchmark.h>
-
+#include "bench_json.hpp"
 #include "mainchain/miner.hpp"
 
 namespace {
@@ -103,3 +102,5 @@ void BM_ReorgVsDepth(benchmark::State& state) {
 BENCHMARK(BM_ReorgVsDepth)->RangeMultiplier(2)->Range(1, 128);
 
 }  // namespace
+
+ZENDOO_BENCH_MAIN("reorg");

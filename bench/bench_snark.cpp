@@ -4,7 +4,7 @@
 // Series: R1CS satisfiability checking / Prove time vs constraint count
 // (linear — the prover must evaluate the whole circuit) and Verify time vs
 // constraint count (constant — succinctness), plus constant proof size.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include <memory>
 
@@ -88,4 +88,4 @@ BENCHMARK(BM_SnarkSetup)->RangeMultiplier(16)->Range(16, 4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("snark");

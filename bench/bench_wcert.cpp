@@ -11,7 +11,7 @@
 //
 // Expected shape: Zendoo flat and microseconds; baseline linear in m;
 // naive linear in epoch transaction count and orders of magnitude larger.
-#include <benchmark/benchmark.h>
+#include "bench_json.hpp"
 
 #include "core/certifier_baseline.hpp"
 #include "crypto/rng.hpp"
@@ -143,4 +143,4 @@ BENCHMARK(BM_NaiveReexecutionVerify)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+ZENDOO_BENCH_MAIN("wcert");

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -80,6 +81,17 @@ class ChainState final : public StateView {
   /// fingerprints are equal — the hook for differential reorg tests.
   [[nodiscard]] Digest state_fingerprint() const;
 
+  /// Replaces the validation-pipeline configuration (thread count,
+  /// defer/inline policy, cache size) and rebuilds the runtime. Copies
+  /// of a ChainState share one runtime until one of them calls this.
+  void set_validation_config(const parallel::ValidationConfig& config);
+  /// The validation runtime (null under CheckPolicy::kInline) — exposed
+  /// for stats introspection in tests and benchmarks.
+  [[nodiscard]] const std::shared_ptr<parallel::ValidationContext>&
+  validation_context() const {
+    return vctx_;
+  }
+
  private:
   /// Applies the dirty entries of a validated overlay plus the new tip.
   void flush(const CacheView& view, const Block& block);
@@ -97,6 +109,11 @@ class ChainState final : public StateView {
   std::uint64_t height_ = 0;
   Digest tip_;
   bool genesis_connected_ = false;
+  /// Batch-verification runtime (worker pool + verified-check cache),
+  /// created from params_.validation; null under CheckPolicy::kInline.
+  /// Shared across ChainState copies — the pool serializes batches and
+  /// the cache is content-addressed, so sharing is always sound.
+  std::shared_ptr<parallel::ValidationContext> vctx_;
 };
 
 /// Outcome class of Blockchain::submit_block — the contract a gossip
@@ -157,6 +174,13 @@ class Blockchain {
   }
   /// Active chain as block hashes, genesis first.
   [[nodiscard]] std::vector<Digest> active_chain() const;
+
+  /// Reconfigures the validation pipeline (see ChainState) for this
+  /// chain instance.
+  void set_validation_config(const parallel::ValidationConfig& config) {
+    params_.validation = config;
+    state_.set_validation_config(config);
+  }
 
   // ---- Orphan pool introspection (tests, gossip backfill) ----
   [[nodiscard]] std::size_t orphan_count() const { return orphans_.size(); }

@@ -114,7 +114,8 @@ std::string finalize_epochs(WriteView& view, std::uint64_t new_height) {
 }
 
 std::string apply_transaction(WriteView& view, const Transaction& tx,
-                              bool coinbase_slot, Amount* fees) {
+                              bool coinbase_slot, Amount* fees,
+                              parallel::BatchProofVerifier* deferred) {
   if (coinbase_slot) {
     if (!tx.is_coinbase) return "first transaction must be coinbase";
     if (!tx.inputs.empty()) return "coinbase must have no inputs";
@@ -147,7 +148,10 @@ std::string apply_transaction(WriteView& view, const Transaction& tx,
     if (crypto::address_of(in.pubkey) != utxo->addr) {
       return "input public key does not match output address";
     }
-    if (!crypto::verify_signature(in.pubkey, signing, in.sig)) {
+    if (deferred != nullptr) {
+      deferred->add_signature(in.pubkey, signing, in.sig,
+                              "invalid input signature");
+    } else if (!crypto::verify_signature(in.pubkey, signing, in.sig)) {
       return "invalid input signature";
     }
     total_in += utxo->amount;
@@ -198,7 +202,8 @@ std::string apply_creation(WriteView& view, const SidechainParams& sc,
 std::string apply_certificate(WriteView& view,
                               const WithdrawalCertificate& cert,
                               std::uint64_t new_height,
-                              const Digest& block_hash) {
+                              const Digest& block_hash,
+                              parallel::BatchProofVerifier* deferred) {
   const SidechainStatus* sc_ro = view.find_sidechain(cert.ledger_id);
   if (sc_ro == nullptr) return "certificate for unknown sidechain";
   if (sc_ro->ceased) return "certificate for ceased sidechain";
@@ -224,10 +229,15 @@ std::string apply_certificate(WriteView& view,
   if (cert.total_withdrawn() > sc_ro->balance) {
     return "certificate withdraws more than sidechain balance";
   }
-  // SNARK verification against the MC-enforced wcert_sysdata.
+  // SNARK verification against the MC-enforced wcert_sysdata. The
+  // statement is built here (it reads view state); only the verification
+  // itself is deferrable.
   auto [prev_last, last] = view.epoch_boundary_hashes(p, cert.epoch_id);
   snark::Statement st = wcert_statement_for(cert, prev_last, last);
-  if (!snark::PredicateSnark::verify(p.wcert_vk, st, cert.proof)) {
+  if (deferred != nullptr) {
+    deferred->add_snark(p.wcert_vk, std::move(st), cert.proof,
+                        "certificate SNARK proof invalid");
+  } else if (!snark::PredicateSnark::verify(p.wcert_vk, st, cert.proof)) {
     return "certificate SNARK proof invalid";
   }
   SidechainStatus& sc = view.sidechain_for_update(cert.ledger_id);
@@ -241,7 +251,8 @@ std::string apply_certificate(WriteView& view,
   return "";
 }
 
-std::string apply_btr(WriteView& view, const BtrRequest& btr) {
+std::string apply_btr(WriteView& view, const BtrRequest& btr,
+                      parallel::BatchProofVerifier* deferred) {
   const SidechainStatus* sc = view.find_sidechain(btr.ledger_id);
   if (sc == nullptr) return "BTR for unknown sidechain";
   if (sc->ceased) return "BTR for ceased sidechain (use CSW)";
@@ -255,7 +266,11 @@ std::string apply_btr(WriteView& view, const BtrRequest& btr) {
   snark::Statement st =
       btr_statement(sc->last_cert_block, btr.nullifier, btr.receiver,
                     btr.amount, btr.proofdata_root());
-  if (!snark::PredicateSnark::verify(sc->params.btr_vk, st, btr.proof)) {
+  if (deferred != nullptr) {
+    deferred->add_snark(sc->params.btr_vk, std::move(st), btr.proof,
+                        "BTR SNARK proof invalid");
+  } else if (!snark::PredicateSnark::verify(sc->params.btr_vk, st,
+                                            btr.proof)) {
     return "BTR SNARK proof invalid";
   }
   view.add_nullifier(btr.ledger_id, btr.nullifier);
@@ -264,7 +279,8 @@ std::string apply_btr(WriteView& view, const BtrRequest& btr) {
   return "";
 }
 
-std::string apply_csw(WriteView& view, const CeasedSidechainWithdrawal& csw) {
+std::string apply_csw(WriteView& view, const CeasedSidechainWithdrawal& csw,
+                      parallel::BatchProofVerifier* deferred) {
   const SidechainStatus* sc_ro = view.find_sidechain(csw.ledger_id);
   if (sc_ro == nullptr) return "CSW for unknown sidechain";
   if (!sc_ro->ceased) return "CSW for active sidechain";
@@ -281,7 +297,11 @@ std::string apply_csw(WriteView& view, const CeasedSidechainWithdrawal& csw) {
   snark::Statement st =
       csw_statement(sc_ro->last_cert_block, csw.nullifier, csw.receiver,
                     csw.amount, csw.proofdata_root());
-  if (!snark::PredicateSnark::verify(sc_ro->params.csw_vk, st, csw.proof)) {
+  if (deferred != nullptr) {
+    deferred->add_snark(sc_ro->params.csw_vk, std::move(st), csw.proof,
+                        "CSW SNARK proof invalid");
+  } else if (!snark::PredicateSnark::verify(sc_ro->params.csw_vk, st,
+                                            csw.proof)) {
     return "CSW SNARK proof invalid";
   }
   view.add_nullifier(csw.ledger_id, csw.nullifier);
@@ -291,10 +311,11 @@ std::string apply_csw(WriteView& view, const CeasedSidechainWithdrawal& csw) {
   return "";
 }
 
-}  // namespace
-
-std::string apply_block(WriteView& view, const ChainParams& params,
-                        const Block& block) {
+/// Sequential stateful application: every rule that reads or writes the
+/// overlay. Expensive stateless checks go through `deferred` when set.
+std::string apply_block_stateful(WriteView& view, const ChainParams& params,
+                                 const Block& block,
+                                 parallel::BatchProofVerifier* deferred) {
   const Digest block_hash = block.hash();
 
   if (block.header.height != view.height() + 1) return "block height mismatch";
@@ -334,8 +355,8 @@ std::string apply_block(WriteView& view, const ChainParams& params,
   if (block.transactions.empty()) return "block has no coinbase";
   Amount fees = 0;
   for (std::size_t i = 1; i < block.transactions.size(); ++i) {
-    if (std::string err =
-            apply_transaction(view, block.transactions[i], false, &fees);
+    if (std::string err = apply_transaction(view, block.transactions[i],
+                                            false, &fees, deferred);
         !err.empty()) {
       return err;
     }
@@ -346,7 +367,8 @@ std::string apply_block(WriteView& view, const ChainParams& params,
   if (coinbase.total_output() > params.block_subsidy + fees) {
     return "coinbase exceeds subsidy plus fees";
   }
-  if (std::string err = apply_transaction(view, coinbase, true, &fees);
+  if (std::string err =
+          apply_transaction(view, coinbase, true, &fees, deferred);
       !err.empty()) {
     return err;
   }
@@ -354,7 +376,7 @@ std::string apply_block(WriteView& view, const ChainParams& params,
   // 5. Withdrawal certificates.
   for (const WithdrawalCertificate& cert : block.certificates) {
     if (std::string err =
-            apply_certificate(view, cert, new_height, block_hash);
+            apply_certificate(view, cert, new_height, block_hash, deferred);
         !err.empty()) {
       return err;
     }
@@ -362,15 +384,35 @@ std::string apply_block(WriteView& view, const ChainParams& params,
 
   // 6. Backward transfer requests.
   for (const BtrRequest& btr : block.btrs) {
-    if (std::string err = apply_btr(view, btr); !err.empty()) return err;
+    if (std::string err = apply_btr(view, btr, deferred); !err.empty()) {
+      return err;
+    }
   }
 
   // 7. Ceased sidechain withdrawals.
   for (const CeasedSidechainWithdrawal& csw : block.csws) {
-    if (std::string err = apply_csw(view, csw); !err.empty()) return err;
+    if (std::string err = apply_csw(view, csw, deferred); !err.empty()) {
+      return err;
+    }
   }
 
   return "";
+}
+
+}  // namespace
+
+std::string apply_block(WriteView& view, const ChainParams& params,
+                        const Block& block,
+                        parallel::BatchProofVerifier* deferred) {
+  std::string stateful = apply_block_stateful(view, params, block, deferred);
+  if (deferred != nullptr) {
+    // Every deferred check was collected before the stateful outcome was
+    // reached, so sequentially it would have run — and possibly failed —
+    // first. Its diagnostic therefore takes precedence; on any failure
+    // the caller discards the overlay.
+    if (std::string err = deferred->run(); !err.empty()) return err;
+  }
+  return stateful;
 }
 
 }  // namespace zendoo::mainchain

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "mainchain/block.hpp"
+#include "parallel/batch_verifier.hpp"
 
 namespace zendoo::mainchain {
 
@@ -208,8 +209,15 @@ struct BlockUndo {
 /// (which discards it). Expects a non-genesis block; returns "" or a
 /// diagnostic, in which case the overlay may hold partial writes and must
 /// be discarded.
-[[nodiscard]] std::string apply_block(WriteView& view,
-                                      const ChainParams& params,
-                                      const Block& block);
+///
+/// When `deferred` is non-null, expensive stateless checks (SNARK proofs,
+/// input signatures) are collected into it instead of verified at the
+/// point of encounter, and the whole batch is verified before this
+/// function returns "". The returned diagnostic is byte-identical to the
+/// inline path: a deferred check that fails is reported in favour of any
+/// stateful failure it sequentially preceded.
+[[nodiscard]] std::string apply_block(
+    WriteView& view, const ChainParams& params, const Block& block,
+    parallel::BatchProofVerifier* deferred = nullptr);
 
 }  // namespace zendoo::mainchain

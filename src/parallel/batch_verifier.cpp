@@ -1,0 +1,140 @@
+#include "parallel/batch_verifier.hpp"
+
+#include <cassert>
+
+namespace zendoo::parallel {
+
+bool ProofCheck::operator()() const {
+  switch (kind) {
+    case Kind::kSnark:
+      return snark::PredicateSnark::verify(vk, statement, proof);
+    case Kind::kSignature:
+      return crypto::verify_signature(pubkey, msg, sig);
+  }
+  return false;
+}
+
+Digest ProofCheck::cache_key() const {
+  crypto::Hasher h(crypto::Domain::kGeneric);
+  switch (kind) {
+    case Kind::kSnark:
+      h.write_str("check:snark").write(vk.id);
+      h.write_u64(statement.size());
+      for (const Digest& d : statement) h.write(d);
+      h.write(proof.binding);
+      break;
+    case Kind::kSignature:
+      h.write_str("check:sig")
+          .write(pubkey.first)
+          .write(pubkey.second)
+          .write(msg)
+          .write(sig.rx)
+          .write(sig.ry)
+          .write(sig.s);
+      break;
+  }
+  return h.finalize();
+}
+
+CheckQueue<ProofCheck>& ValidationContext::queue() {
+  std::scoped_lock lock(queue_mu_);
+  if (queue_ == nullptr) {
+    queue_ = std::make_unique<CheckQueue<ProofCheck>>(config_.worker_threads);
+  }
+  return *queue_;
+}
+
+bool ValidationContext::cache_contains(const Digest& key) {
+  if (config_.cache_capacity == 0) return false;
+  std::scoped_lock lock(cache_mu_);
+  if (!cache_.contains(key)) return false;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ValidationContext::cache_insert(const Digest& key) {
+  if (config_.cache_capacity == 0) return;
+  std::scoped_lock lock(cache_mu_);
+  // Generation dump: predictable, and a full cache means one whole
+  // generation of checks stays memoized — good enough for the
+  // probe-then-connect flows the cache exists for.
+  if (cache_.size() >= config_.cache_capacity) cache_.clear();
+  cache_.insert(key);
+}
+
+ValidationStats ValidationContext::stats() const {
+  ValidationStats s;
+  s.checks_executed = executed_.load(std::memory_order_relaxed);
+  s.cache_hits = hits_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void BatchProofVerifier::add_snark(const snark::VerifyingKey& vk,
+                                   snark::Statement statement,
+                                   const snark::Proof& proof,
+                                   std::string error) {
+  Entry e;
+  e.check.kind = ProofCheck::Kind::kSnark;
+  e.check.vk = vk;
+  e.check.statement = std::move(statement);
+  e.check.proof = proof;
+  e.error = std::move(error);
+  pending_.push_back(std::move(e));
+}
+
+void BatchProofVerifier::add_signature(
+    const std::pair<crypto::u256, crypto::u256>& pubkey, const Digest& msg,
+    const crypto::Signature& sig, std::string error) {
+  Entry e;
+  e.check.kind = ProofCheck::Kind::kSignature;
+  e.check.pubkey = pubkey;
+  e.check.msg = msg;
+  e.check.sig = sig;
+  e.error = std::move(error);
+  pending_.push_back(std::move(e));
+}
+
+std::string BatchProofVerifier::run() {
+  assert(!ran_);
+  ran_ = true;
+  if (pending_.empty()) return "";
+  ctx_.count_batch();
+
+  // Cache filter: checks verified in an earlier validation of the same
+  // content (a dry_run of this very block, a shared ancestor branch) are
+  // skipped outright.
+  std::vector<std::size_t> to_run;
+  std::vector<Digest> keys;
+  to_run.reserve(pending_.size());
+  keys.reserve(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    Digest key = pending_[i].check.cache_key();
+    if (!ctx_.cache_contains(key)) {
+      to_run.push_back(i);
+      keys.push_back(key);
+    }
+  }
+  if (to_run.empty()) return "";
+  ctx_.count_executed(to_run.size());
+
+  if (ctx_.config().worker_threads == 0) {
+    // Sequential batch on the calling thread — same semantics, no pool.
+    for (std::size_t j = 0; j < to_run.size(); ++j) {
+      Entry& e = pending_[to_run[j]];
+      if (!e.check()) return e.error;
+      ctx_.cache_insert(keys[j]);
+    }
+    return "";
+  }
+
+  std::vector<ProofCheck> batch;
+  batch.reserve(to_run.size());
+  for (std::size_t idx : to_run) batch.push_back(std::move(pending_[idx].check));
+  CheckResult result = ctx_.queue().run_batch(std::move(batch));
+  if (!result.ok) return pending_[to_run[result.first_failure]].error;
+  for (const Digest& key : keys) ctx_.cache_insert(key);
+  return "";
+}
+
+}  // namespace zendoo::parallel

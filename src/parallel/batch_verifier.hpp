@@ -1,0 +1,141 @@
+// Batched asynchronous proof verification for block validation.
+//
+// During overlay application the mainchain encounters two kinds of
+// expensive stateless checks: SNARK proof verification (withdrawal
+// certificates, BTRs, CSWs) and transaction signature verification.
+// Under CheckPolicy::kDeferred these are collected into a
+// BatchProofVerifier instead of being verified inline, and the whole
+// batch is verified — across a CheckQueue worker pool — before the block
+// is allowed to commit (the asyncproofverifier pattern of the reference
+// implementations).
+//
+// ValidationContext is the per-chain runtime: it owns the lazily started
+// worker pool plus a bounded cache of already-verified checks, shared
+// between dry_run and connect_block so the same proof is never paid for
+// twice (mempool-style probes, miner greedy assembly, probe-then-connect
+// gossip flows).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "crypto/ecc.hpp"
+#include "parallel/check_queue.hpp"
+#include "parallel/validation_config.hpp"
+#include "snark/snark.hpp"
+
+namespace zendoo::parallel {
+
+using crypto::Digest;
+
+/// One deferred stateless check: either a SNARK proof verification or a
+/// Schnorr signature verification. Self-contained — executing it touches
+/// no chain state, so any thread may run it.
+struct ProofCheck {
+  enum class Kind : std::uint8_t { kSnark, kSignature };
+
+  Kind kind = Kind::kSnark;
+  // kSnark
+  snark::VerifyingKey vk;
+  snark::Statement statement;
+  snark::Proof proof;
+  // kSignature
+  std::pair<crypto::u256, crypto::u256> pubkey;
+  Digest msg;
+  crypto::Signature sig;
+
+  /// Executes the verification. True = check passed.
+  [[nodiscard]] bool operator()() const;
+
+  /// Content digest identifying this check in the verified-check cache.
+  /// Both check kinds are pure functions of their payload, so a cached
+  /// success is valid in any later validation context.
+  [[nodiscard]] Digest cache_key() const;
+};
+
+/// Counters exposed for tests and benchmarks.
+struct ValidationStats {
+  std::uint64_t checks_executed = 0;  ///< verifications actually run
+  std::uint64_t cache_hits = 0;       ///< checks satisfied from the cache
+  std::uint64_t batches = 0;          ///< batch runs (one per apply_block)
+};
+
+/// Per-chain validation runtime: configuration, lazily started worker
+/// pool, verified-check cache, counters. Shared (via shared_ptr) between
+/// copies of a ChainState; all entry points are thread-safe.
+class ValidationContext {
+ public:
+  explicit ValidationContext(ValidationConfig config) : config_(config) {}
+
+  [[nodiscard]] const ValidationConfig& config() const { return config_; }
+
+  /// The worker pool, started on first use (so configurations that never
+  /// validate in parallel spawn no threads).
+  CheckQueue<ProofCheck>& queue();
+
+  /// True when `key` is a known-verified check (counts a cache hit).
+  [[nodiscard]] bool cache_contains(const Digest& key);
+  void cache_insert(const Digest& key);
+
+  [[nodiscard]] ValidationStats stats() const;
+  void count_executed(std::uint64_t n) {
+    executed_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void count_batch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  ValidationConfig config_;
+
+  std::mutex queue_mu_;
+  std::unique_ptr<CheckQueue<ProofCheck>> queue_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_set<Digest, crypto::DigestHash> cache_;
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> batches_{0};
+};
+
+/// Collects the stateless checks of one block application and verifies
+/// them in a single batch. Created per apply_block call; run() is called
+/// exactly once, either when application completes or at the point of a
+/// stateful failure (every check collected so far logically precedes
+/// that failure in sequential order, so its first failure wins).
+class BatchProofVerifier {
+ public:
+  explicit BatchProofVerifier(ValidationContext& ctx) : ctx_(ctx) {}
+
+  BatchProofVerifier(const BatchProofVerifier&) = delete;
+  BatchProofVerifier& operator=(const BatchProofVerifier&) = delete;
+
+  void add_snark(const snark::VerifyingKey& vk, snark::Statement statement,
+                 const snark::Proof& proof, std::string error);
+  void add_signature(const std::pair<crypto::u256, crypto::u256>& pubkey,
+                     const Digest& msg, const crypto::Signature& sig,
+                     std::string error);
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  /// Verifies every collected check (cache-filtered, across the worker
+  /// pool when configured) and returns "" or the diagnostic of the check
+  /// that would have failed first sequentially.
+  [[nodiscard]] std::string run();
+
+ private:
+  struct Entry {
+    ProofCheck check;
+    std::string error;
+  };
+
+  ValidationContext& ctx_;
+  std::vector<Entry> pending_;
+  bool ran_ = false;
+};
+
+}  // namespace zendoo::parallel

@@ -1,0 +1,34 @@
+// Validation-pipeline policy knobs, embedded in ChainParams so every
+// consumer of a chain (miner, gossip ingestion, dry-run probes) follows
+// the same configuration. Kept dependency-free: the runtime machinery
+// (worker pool, proof cache) lives in parallel/batch_verifier.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace zendoo::parallel {
+
+/// Where expensive stateless checks (SNARK proofs, signatures) run.
+enum class CheckPolicy : std::uint8_t {
+  /// Verify at the point of encounter on the validation thread — the
+  /// legacy sequential path, kept as the differential-testing reference.
+  kInline,
+  /// Collect checks during overlay application and verify them as one
+  /// batch (across the worker pool when worker_threads > 0) before the
+  /// block commits. Outcome is byte-identical to kInline.
+  kDeferred,
+};
+
+struct ValidationConfig {
+  CheckPolicy policy = CheckPolicy::kDeferred;
+  /// Extra worker threads for batch verification; the control thread
+  /// always joins in, so 0 means "run the batch on the caller".
+  unsigned worker_threads = 0;
+  /// Entries retained in the shared verified-check cache (dry_run and
+  /// connect_block share it, so a block probed via dry_run re-verifies
+  /// nothing on connect). 0 disables caching.
+  std::size_t cache_capacity = 1 << 16;
+};
+
+}  // namespace zendoo::parallel

@@ -1,0 +1,323 @@
+// Differential tests for the parallel validation pipeline: connecting the
+// same proof-heavy blocks under every pipeline configuration — inline,
+// deferred on the caller, deferred across 1/2/8 workers — must produce
+// byte-identical outcomes (accept/reject, error string, state
+// fingerprint), and the shared verified-check cache must make a
+// dry_run→connect of one block pay for each check exactly once.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mainchain/chain.hpp"
+
+namespace zendoo::mainchain {
+namespace {
+
+using parallel::CheckPolicy;
+using parallel::ValidationConfig;
+
+constexpr std::uint64_t kSigs = 5;
+constexpr std::uint64_t kCsws = 2;
+constexpr std::uint64_t kSegmentBlocks = 4;
+constexpr Amount kFtAmount = 1'000'000;
+
+/// Every pipeline configuration under test. The inline config is the
+/// sequential reference the deferred ones must match byte for byte.
+std::vector<ValidationConfig> all_configs() {
+  std::vector<ValidationConfig> configs;
+  configs.push_back({CheckPolicy::kInline, 0, 0});
+  for (unsigned workers : {0u, 1u, 2u, 8u}) {
+    configs.push_back({CheckPolicy::kDeferred, workers, 1 << 12});
+  }
+  return configs;
+}
+
+std::string config_name(const ValidationConfig& c) {
+  if (c.policy == CheckPolicy::kInline) return "inline";
+  return "deferred/workers:" + std::to_string(c.worker_threads);
+}
+
+/// Deterministic chain whose tail blocks each carry kSigs signature
+/// checks, one withdrawal certificate and kCsws ceased-sidechain
+/// withdrawals — the same shape the bench uses, sized for a test.
+struct ProofHeavyChain {
+  ChainParams params;
+  std::vector<Block> blocks;      ///< genesis first
+  std::size_t segment_begin = 0;  ///< index of the first proof-heavy block
+
+  ProofHeavyChain() {
+    auto key = crypto::KeyPair::from_seed(
+        crypto::hash_str(crypto::Domain::kGeneric, "pv-test-key"));
+    auto always_true = [](const snark::Statement&, const snark::Witness&) {
+      return true;
+    };
+    auto [wcert_pk, wcert_vk] =
+        snark::PredicateSnark::setup(always_true, "pv-test-wcert");
+    auto [csw_pk, csw_vk] =
+        snark::PredicateSnark::setup(always_true, "pv-test-csw");
+
+    SidechainParams live_sc;
+    live_sc.ledger_id = crypto::hash_str(crypto::Domain::kGeneric, "pv-live");
+    live_sc.start_block = 4;
+    live_sc.epoch_len = 2;
+    live_sc.submit_len = 2;
+    live_sc.wcert_vk = wcert_vk;
+
+    SidechainParams csw_sc;
+    csw_sc.ledger_id = crypto::hash_str(crypto::Domain::kGeneric, "pv-csw");
+    csw_sc.start_block = 2;
+    csw_sc.epoch_len = 2;
+    csw_sc.submit_len = 2;
+    csw_sc.csw_vk = csw_vk;
+
+    ChainState builder(params);
+
+    Block genesis;
+    genesis.header.height = 0;
+    seal(builder, genesis);
+
+    // h1: register both sidechains.
+    Block b1 = begin_block(builder, key.address());
+    b1.sidechain_creations = {live_sc, csw_sc};
+    seal(builder, b1);
+
+    // h2: fan the h1 coinbase into kSigs outputs; fund the CSW sidechain
+    // while it is still active (it ceases at h6, before the segment).
+    Amount out_amount = (params.block_subsidy - kFtAmount) / kSigs;
+    Transaction fanout;
+    fanout.inputs.push_back(
+        TxInput{OutPoint{b1.transactions[0].id(), 0}, {}, {}});
+    for (std::uint64_t j = 0; j < kSigs; ++j) {
+      fanout.outputs.push_back(TxOutput{key.address(), out_amount});
+    }
+    fanout.forward_transfers.push_back(ForwardTransferOutput{
+        csw_sc.ledger_id, {key.address(), key.address()}, kFtAmount});
+    fanout = sign_all_inputs(std::move(fanout), key);
+    Digest fanout_id = fanout.id();
+    Block b2 = begin_block(builder, key.address());
+    b2.transactions.push_back(std::move(fanout));
+    seal(builder, b2);
+
+    for (std::uint64_t h = 3; h <= 5; ++h) {
+      Block b = begin_block(builder, key.address());
+      seal(builder, b);
+    }
+    segment_begin = blocks.size();
+
+    std::vector<Digest> prev_txids(kSigs, fanout_id);
+    bool fanout_generation = true;
+    for (std::uint64_t s = 0; s < kSegmentBlocks; ++s) {
+      Block b = begin_block(builder, key.address());
+      std::uint64_t h = b.header.height;
+      for (std::uint64_t j = 0; j < kSigs; ++j) {
+        Transaction t;
+        std::uint32_t out_index =
+            fanout_generation ? static_cast<std::uint32_t>(j) : 0;
+        t.inputs.push_back(
+            TxInput{OutPoint{prev_txids[j], out_index}, {}, {}});
+        t.outputs.push_back(TxOutput{key.address(), out_amount});
+        t = sign_all_inputs(std::move(t), key);
+        prev_txids[j] = t.id();
+        b.transactions.push_back(std::move(t));
+      }
+      fanout_generation = false;
+
+      WithdrawalCertificate cert;
+      cert.ledger_id = live_sc.ledger_id;
+      cert.epoch_id = (h - 6) / 2;
+      cert.quality = h;
+      auto [prev_last, last] =
+          builder.epoch_boundary_hashes(live_sc, cert.epoch_id);
+      snark::Statement st = wcert_statement_for(cert, prev_last, last);
+      cert.proof =
+          *snark::PredicateSnark::prove(wcert_pk, st, snark::Witness{});
+      b.certificates.push_back(std::move(cert));
+
+      for (std::uint64_t j = 0; j < kCsws; ++j) {
+        CeasedSidechainWithdrawal csw;
+        csw.ledger_id = csw_sc.ledger_id;
+        csw.receiver = key.address();
+        csw.amount = 1;
+        csw.nullifier = crypto::Hasher(crypto::Domain::kGeneric)
+                            .write_u64(h)
+                            .write_u64(j)
+                            .finalize();
+        snark::Statement st_csw =
+            csw_statement(Digest{}, csw.nullifier, csw.receiver, csw.amount,
+                          csw.proofdata_root());
+        csw.proof =
+            *snark::PredicateSnark::prove(csw_pk, st_csw, snark::Witness{});
+        b.csws.push_back(std::move(csw));
+      }
+      seal(builder, b);
+    }
+  }
+
+  /// Fresh state with everything before the segment connected.
+  [[nodiscard]] ChainState prefix_state(const ValidationConfig& config) const {
+    ChainParams p = params;
+    p.validation = config;
+    ChainState state(p);
+    for (std::size_t i = 0; i < segment_begin; ++i) {
+      std::string err = state.connect_block(blocks[i]);
+      if (!err.empty()) {
+        throw std::logic_error("prefix replay failed: " + err);
+      }
+    }
+    return state;
+  }
+
+  static const ProofHeavyChain& instance() {
+    static ProofHeavyChain chain;
+    return chain;
+  }
+
+ private:
+  static Block begin_block(const ChainState& st, const Address& addr) {
+    Block b;
+    b.header.prev_hash = st.tip_hash();
+    b.header.height = st.height() + 1;
+    Transaction cb;
+    cb.is_coinbase = true;
+    cb.coinbase_height = b.header.height;
+    cb.outputs.push_back(TxOutput{addr, ChainParams{}.block_subsidy});
+    b.transactions.push_back(std::move(cb));
+    return b;
+  }
+
+  void seal(ChainState& st, Block& b) {
+    b.header.tx_merkle_root = b.compute_tx_merkle_root();
+    b.header.sc_txs_commitment = b.build_commitment_tree().root();
+    std::string err = st.connect_block(b);
+    if (err.empty()) {
+      blocks.push_back(b);
+    } else {
+      throw std::logic_error("setup block rejected: " + err);
+    }
+  }
+};
+
+/// Re-seals a block whose body was tampered with, so the tamper surfaces
+/// as the targeted validation error instead of a root mismatch.
+Block reseal(Block b) {
+  b.header.tx_merkle_root = b.compute_tx_merkle_root();
+  b.header.sc_txs_commitment = b.build_commitment_tree().root();
+  return b;
+}
+
+/// Connects the full proof-heavy chain under `config`; returns the final
+/// state fingerprint (asserting every block connects).
+Digest connect_all(const ValidationConfig& config) {
+  const auto& chain = ProofHeavyChain::instance();
+  ChainState state = chain.prefix_state(config);
+  for (std::size_t i = chain.segment_begin; i < chain.blocks.size(); ++i) {
+    EXPECT_EQ(state.connect_block(chain.blocks[i]), "")
+        << config_name(config) << " block " << i;
+  }
+  return state.state_fingerprint();
+}
+
+TEST(BatchValidationTest, AcceptOutcomeIdenticalAcrossConfigs) {
+  Digest reference = connect_all({CheckPolicy::kInline, 0, 0});
+  ASSERT_FALSE(reference.is_zero());
+  for (const ValidationConfig& config : all_configs()) {
+    EXPECT_EQ(connect_all(config), reference) << config_name(config);
+  }
+}
+
+/// Runs one tampered segment block under every config and demands the
+/// identical rejection: same error string, state unchanged.
+void expect_same_rejection(const Block& bad, const std::string& expected) {
+  const auto& chain = ProofHeavyChain::instance();
+  for (const ValidationConfig& config : all_configs()) {
+    ChainState state = chain.prefix_state(config);
+    Digest before = state.state_fingerprint();
+    EXPECT_EQ(state.connect_block(bad), expected) << config_name(config);
+    EXPECT_EQ(state.state_fingerprint(), before) << config_name(config);
+  }
+}
+
+TEST(BatchValidationTest, BadSignatureSameErrorEverywhere) {
+  Block bad = ProofHeavyChain::instance()
+                  .blocks[ProofHeavyChain::instance().segment_begin];
+  bad.transactions[2].inputs[0].sig.s.limb[0] ^= 1;
+  expect_same_rejection(reseal(std::move(bad)), "invalid input signature");
+}
+
+TEST(BatchValidationTest, BadCertificateProofSameErrorEverywhere) {
+  Block bad = ProofHeavyChain::instance()
+                  .blocks[ProofHeavyChain::instance().segment_begin];
+  bad.certificates[0].proof.binding.bytes[0] ^= 1;
+  expect_same_rejection(reseal(std::move(bad)),
+                        "certificate SNARK proof invalid");
+}
+
+TEST(BatchValidationTest, BadCswProofSameErrorEverywhere) {
+  Block bad = ProofHeavyChain::instance()
+                  .blocks[ProofHeavyChain::instance().segment_begin];
+  bad.csws[0].proof.binding.bytes[0] ^= 1;
+  expect_same_rejection(reseal(std::move(bad)), "CSW SNARK proof invalid");
+}
+
+TEST(BatchValidationTest, DeferredCheckPrecedesLaterStatefulError) {
+  // Tx 1 carries a bad signature, tx 3 a stateful error (double spend of
+  // tx 1's input). Sequentially the signature fails first; the deferred
+  // pipeline only discovers the stateful error during application and
+  // must still report the signature, because every deferred check
+  // collected before the stateful failure logically precedes it.
+  Block bad = ProofHeavyChain::instance()
+                  .blocks[ProofHeavyChain::instance().segment_begin];
+  bad.transactions[1].inputs[0].sig.s.limb[0] ^= 1;
+  bad.transactions[3].inputs[0].prevout =
+      bad.transactions[1].inputs[0].prevout;
+  expect_same_rejection(reseal(std::move(bad)), "invalid input signature");
+}
+
+TEST(BatchValidationTest, StatefulErrorAloneSameEverywhere) {
+  Block bad = ProofHeavyChain::instance()
+                  .blocks[ProofHeavyChain::instance().segment_begin];
+  bad.transactions[3].inputs[0].prevout =
+      bad.transactions[1].inputs[0].prevout;
+  expect_same_rejection(reseal(std::move(bad)),
+                        "input spends unknown or spent output");
+}
+
+TEST(BatchValidationTest, DryRunSharesVerifierCacheWithConnect) {
+  const auto& chain = ProofHeavyChain::instance();
+  ChainState state =
+      chain.prefix_state({CheckPolicy::kDeferred, 0, 1 << 12});
+  const Block& block = chain.blocks[chain.segment_begin];
+  const std::uint64_t checks = kSigs + 1 + kCsws;
+
+  auto ctx = state.validation_context();
+  ASSERT_NE(ctx, nullptr);
+  auto before = ctx->stats();
+
+  ASSERT_EQ(state.dry_run(block), "");
+  auto after_dry = ctx->stats();
+  EXPECT_EQ(after_dry.checks_executed, before.checks_executed + checks);
+
+  // The connect re-verifies nothing: every check hits the shared cache.
+  ASSERT_EQ(state.connect_block(block), "");
+  auto after_connect = ctx->stats();
+  EXPECT_EQ(after_connect.checks_executed, after_dry.checks_executed);
+  EXPECT_EQ(after_connect.cache_hits, after_dry.cache_hits + checks);
+}
+
+TEST(BatchValidationTest, SetValidationConfigDetachesRuntime) {
+  const auto& chain = ProofHeavyChain::instance();
+  ChainState a = chain.prefix_state({CheckPolicy::kDeferred, 0, 1 << 12});
+  ChainState b = a;  // copies share the runtime...
+  EXPECT_EQ(a.validation_context(), b.validation_context());
+  b.set_validation_config({CheckPolicy::kDeferred, 2, 1 << 12});
+  EXPECT_NE(a.validation_context(), b.validation_context());
+  // ...and both still validate correctly after the split.
+  ASSERT_EQ(a.connect_block(chain.blocks[chain.segment_begin]), "");
+  ASSERT_EQ(b.connect_block(chain.blocks[chain.segment_begin]), "");
+  EXPECT_EQ(a.state_fingerprint(), b.state_fingerprint());
+}
+
+}  // namespace
+}  // namespace zendoo::mainchain

@@ -1,0 +1,147 @@
+// CheckQueue semantics: all-or-nothing batches whose outcome is
+// byte-identical to sequential execution regardless of worker count —
+// lowest add-order failure index wins, exceptions are rethrown on the
+// control thread, and whichever of (failure, exception) has the lower
+// index is the reported outcome.
+#include "parallel/check_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace zendoo::parallel {
+namespace {
+
+using BoolCheck = std::function<bool()>;
+
+std::vector<BoolCheck> passing_batch(std::size_t n) {
+  std::vector<BoolCheck> checks;
+  for (std::size_t i = 0; i < n; ++i) checks.push_back([] { return true; });
+  return checks;
+}
+
+class CheckQueueWorkerSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CheckQueueWorkerSweep, AllPassAndQueueIsReusable) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  for (int round = 0; round < 3; ++round) {
+    CheckResult result = queue.run_batch(passing_batch(100));
+    EXPECT_TRUE(result.ok);
+    EXPECT_EQ(result.first_failure, CheckResult::kNone);
+  }
+}
+
+TEST_P(CheckQueueWorkerSweep, EmptyBatchIsOk) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  EXPECT_TRUE(queue.run_batch({}).ok);
+}
+
+TEST_P(CheckQueueWorkerSweep, LowestFailureIndexReported) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  std::vector<BoolCheck> checks = passing_batch(100);
+  for (std::size_t bad : {57UL, 13UL, 89UL}) {
+    checks[bad] = [] { return false; };
+  }
+  CheckResult result = queue.run_batch(std::move(checks));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.first_failure, 13u);
+}
+
+TEST_P(CheckQueueWorkerSweep, ExceptionRethrownOnControlThread) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  std::vector<BoolCheck> checks = passing_batch(40);
+  checks[17] = []() -> bool { throw std::runtime_error("boom"); };
+  EXPECT_THROW(queue.run_batch(std::move(checks)), std::runtime_error);
+  // The queue survives a throwing batch and runs the next one cleanly.
+  EXPECT_TRUE(queue.run_batch(passing_batch(40)).ok);
+}
+
+TEST_P(CheckQueueWorkerSweep, FailureBeforeExceptionWins) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  std::vector<BoolCheck> checks = passing_batch(10);
+  checks[3] = [] { return false; };
+  checks[5] = []() -> bool { throw std::runtime_error("later"); };
+  // Sequentially, index 3 fails before index 5 ever runs: the batch
+  // reports the failure and must not rethrow.
+  CheckResult result = queue.run_batch(std::move(checks));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.first_failure, 3u);
+}
+
+TEST_P(CheckQueueWorkerSweep, ExceptionBeforeFailureWins) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  std::vector<BoolCheck> checks = passing_batch(10);
+  checks[2] = []() -> bool { throw std::runtime_error("first"); };
+  checks[6] = [] { return false; };
+  EXPECT_THROW(queue.run_batch(std::move(checks)), std::runtime_error);
+}
+
+TEST_P(CheckQueueWorkerSweep, RandomizedBatchesMatchSequentialReference) {
+  CheckQueue<BoolCheck> queue(GetParam());
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int round = 0; round < 50; ++round) {
+    std::size_t n = 1 + rng() % 200;
+    std::vector<bool> outcomes(n);
+    std::size_t expected = CheckResult::kNone;
+    for (std::size_t i = 0; i < n; ++i) {
+      outcomes[i] = rng() % 8 != 0;  // ~12% failures
+      if (!outcomes[i] && expected == CheckResult::kNone) expected = i;
+    }
+    std::vector<BoolCheck> checks;
+    checks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bool ok = outcomes[i];
+      checks.push_back([ok] { return ok; });
+    }
+    CheckResult result = queue.run_batch(std::move(checks));
+    EXPECT_EQ(result.ok, expected == CheckResult::kNone) << "round " << round;
+    EXPECT_EQ(result.first_failure, expected) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, CheckQueueWorkerSweep,
+                         ::testing::Values(0, 1, 2, 8));
+
+// A high-index check that fails *temporally first* (the low-index failing
+// check is slow) must not displace the lowest add-order index.
+TEST(CheckQueueTest, TemporalOrderDoesNotLeakIntoResult) {
+  CheckQueue<BoolCheck> queue(4);
+  std::vector<BoolCheck> checks = passing_batch(64);
+  checks[5] = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return false;
+  };
+  checks[63] = [] { return false; };  // fails immediately on some worker
+  CheckResult result = queue.run_batch(std::move(checks));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.first_failure, 5u);
+}
+
+// The cutoff optimisation skips checks above a known-bad index; every
+// check at or below the reported failure must still have executed.
+TEST(CheckQueueTest, ChecksBelowFailureAllExecute) {
+  CheckQueue<BoolCheck> queue(2);
+  auto executed = std::make_shared<std::vector<std::atomic<bool>>>(100);
+  std::vector<BoolCheck> checks;
+  for (std::size_t i = 0; i < 100; ++i) {
+    checks.push_back([executed, i] {
+      (*executed)[i].store(true, std::memory_order_relaxed);
+      return i != 40;
+    });
+  }
+  CheckResult result = queue.run_batch(std::move(checks));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.first_failure, 40u);
+  for (std::size_t i = 0; i <= 40; ++i) {
+    EXPECT_TRUE((*executed)[i].load(std::memory_order_relaxed)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace zendoo::parallel
