@@ -27,6 +27,15 @@ struct BlockHeader {
   [[nodiscard]] Digest hash() const;
 };
 
+/// Thinning sample of a chain used to find the fork point between two
+/// nodes during headers-first sync: hashes from the tip backwards, dense
+/// for the most recent blocks then exponentially spaced, always ending at
+/// genesis. A peer answers with the headers that follow the highest
+/// locator hash it recognises on its own active chain.
+struct BlockLocator {
+  std::vector<Digest> hashes;  ///< tip-first, genesis last
+};
+
 struct Block {
   BlockHeader header;
   std::vector<Transaction> transactions;  ///< first is coinbase

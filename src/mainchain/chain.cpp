@@ -280,6 +280,7 @@ Blockchain::Blockchain(ChainParams params)
   }
   heights_[genesis_hash_] = 0;
   blocks_.emplace(genesis_hash_, std::move(genesis));
+  header_chain_ = {genesis_hash_};
 }
 
 const Block& Blockchain::genesis() const { return blocks_.at(genesis_hash_); }
@@ -294,6 +295,128 @@ std::vector<Digest> Blockchain::active_chain() const {
   out.reserve(state_.height() + 1);
   for (std::uint64_t h = 0; h <= state_.height(); ++h) {
     out.push_back(state_.hash_at_height(h));
+  }
+  return out;
+}
+
+const BlockHeader* Blockchain::find_header(const Digest& hash) const {
+  if (auto it = headers_.find(hash); it != headers_.end()) return &it->second;
+  if (auto it = blocks_.find(hash); it != blocks_.end()) {
+    return &it->second.header;
+  }
+  return nullptr;
+}
+
+void Blockchain::set_best_header(const Digest& tip, std::uint64_t tip_height) {
+  // Walk the new branch back to the first hash already on the current
+  // best-header branch at the same height (genesis matches at worst).
+  std::vector<Digest> branch;  // tip first, reversed by the append below
+  Digest cur = tip;
+  std::uint64_t h = tip_height;
+  while (h >= header_chain_.size() || header_chain_[h] != cur) {
+    branch.push_back(cur);
+    const BlockHeader* hdr = find_header(cur);
+    if (hdr == nullptr) {
+      throw std::logic_error("Blockchain: header branch ancestor missing");
+    }
+    cur = hdr->prev_hash;
+    --h;
+  }
+  header_chain_.resize(h + 1);
+  for (auto it = branch.rbegin(); it != branch.rend(); ++it) {
+    header_chain_.push_back(*it);
+  }
+  if (first_missing_body_ > h + 1) first_missing_body_ = h + 1;
+}
+
+void Blockchain::note_stored_block(const Digest& hash,
+                                   const BlockHeader& header) {
+  if (header.height > header_height()) set_best_header(hash, header.height);
+}
+
+HeaderResult Blockchain::submit_header(const BlockHeader& header) {
+  Digest hash = header.hash();
+  HeaderResult result;
+  if (headers_.contains(hash) || blocks_.contains(hash)) {
+    result.code = HeaderCode::kDuplicate;
+    return result;
+  }
+  // Same parent-free checks a body must pass: header spam costs PoW.
+  if (!(hash.as_u256() < params_.pow_target)) {
+    result.error = "insufficient proof of work";
+    return result;
+  }
+  if (header.height == 0 || header.prev_hash.is_zero()) {
+    result.error = "only one genesis block";
+    return result;
+  }
+  const BlockHeader* parent = find_header(header.prev_hash);
+  if (parent == nullptr) {
+    result.code = HeaderCode::kDisconnected;
+    return result;
+  }
+  if (header.height != parent->height + 1) {
+    result.error = "header height does not follow parent";
+    return result;
+  }
+  headers_.emplace(hash, header);
+  if (header.height > header_height()) set_best_header(hash, header.height);
+  result.code = HeaderCode::kAccepted;
+  return result;
+}
+
+BlockLocator Blockchain::locator() const {
+  BlockLocator loc;
+  std::uint64_t step = 1;
+  std::uint64_t h = header_height();
+  while (true) {
+    loc.hashes.push_back(header_chain_[h]);
+    if (h == 0) break;
+    if (loc.hashes.size() >= 10) step *= 2;  // dense tail, then exponential
+    h = h > step ? h - step : 0;
+  }
+  return loc;
+}
+
+std::vector<BlockHeader> Blockchain::headers_after(const BlockLocator& loc,
+                                                   std::size_t max) const {
+  // Highest locator hash on our active chain; a locator from any node
+  // sharing our genesis matches at least there.
+  std::uint64_t fork = 0;
+  for (const Digest& hash : loc.hashes) {
+    if (on_active_chain(hash)) {
+      fork = heights_.at(hash);
+      break;
+    }
+  }
+  std::vector<BlockHeader> out;
+  const std::uint64_t top =
+      std::min<std::uint64_t>(state_.height(), fork + max);
+  out.reserve(top > fork ? top - fork : 0);
+  for (std::uint64_t h = fork + 1; h <= top; ++h) {
+    const Block* b = find_block(state_.hash_at_height(h));
+    if (b == nullptr) {
+      throw std::logic_error("Blockchain: active chain block missing");
+    }
+    out.push_back(b->header);
+  }
+  return out;
+}
+
+std::vector<Digest> Blockchain::next_missing_bodies(std::size_t max) {
+  while (first_missing_body_ < header_chain_.size() &&
+         blocks_.contains(header_chain_[first_missing_body_])) {
+    ++first_missing_body_;
+  }
+  std::vector<Digest> out;
+  // Ceiling: never hand out bodies the orphan pool couldn't retain next
+  // to everything below them — a body that far up would evict
+  // closer-to-connecting orphans on arrival and get re-fetched, churning
+  // the pool instead of advancing the chain.
+  const std::uint64_t ceiling = state_.height() + params_.max_orphan_blocks;
+  for (std::uint64_t h = first_missing_body_;
+       h < header_chain_.size() && h <= ceiling && out.size() < max; ++h) {
+    if (!has_body(header_chain_[h])) out.push_back(header_chain_[h]);
   }
   return out;
 }
@@ -397,9 +520,10 @@ Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
     push_undo(std::move(undo));
     heights_[hash] = block.header.height;
     blocks_.emplace(hash, block);
+    note_stored_block(hash, block.header);
     SubmitResult result;
     result.code = SubmitCode::kAccepted;
-  
+
     result.connected = 1;
     return result;
   }
@@ -409,9 +533,10 @@ Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
   heights_[hash] = block.header.height;
   blocks_.emplace(hash, block);
   if (block.header.height <= state_.height()) {
+    note_stored_block(hash, block.header);
     SubmitResult result;
     result.code = SubmitCode::kAccepted;
-  
+
     return result;
   }
 
@@ -419,6 +544,12 @@ Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
   if (!result.accepted()) {
     blocks_.erase(hash);
     heights_.erase(hash);
+  } else {
+    // Only a block that survived validation may advance the best header
+    // — noting it earlier would leave the header chain pointing at a
+    // branch whose body just proved invalid, and the download scheduler
+    // would re-fetch it forever.
+    note_stored_block(hash, block.header);
   }
   return result;
 }

@@ -130,6 +130,23 @@ enum class SubmitCode {
 /// Human-readable name for diagnostics ("accepted", "duplicate", ...).
 [[nodiscard]] const char* to_string(SubmitCode code);
 
+/// Outcome class of Blockchain::submit_header — headers-first sync
+/// accepts and connects headers ahead of block bodies.
+enum class HeaderCode {
+  kAccepted,      ///< entered the header tree (may advance the best header)
+  kDuplicate,     ///< header (or its stored block) already known
+  kDisconnected,  ///< parent header unknown; headers always arrive
+                  ///< fork-point-first, so this is a protocol violation
+                  ///< and the header is dropped, not buffered
+  kInvalid,       ///< failed PoW / height validation
+};
+
+struct HeaderResult {
+  HeaderCode code = HeaderCode::kInvalid;
+  std::string error;  ///< non-empty iff code == kInvalid
+  [[nodiscard]] bool accepted() const { return code == HeaderCode::kAccepted; }
+};
+
 /// Block tree with Nakamoto fork choice.
 class Blockchain {
  public:
@@ -182,6 +199,53 @@ class Blockchain {
     state_.set_validation_config(config);
   }
 
+  // ---- Headers-first sync ----
+  //
+  // The header tree mirrors the block tree but holds PoW-checked headers
+  // whose bodies have not arrived yet. The best-header branch (longest
+  // valid header chain known, never shorter than the active chain) is
+  // what a download scheduler walks to fetch bodies in parallel from
+  // many peers; bodies connect through submit_block / the orphan pool as
+  // they arrive in any order.
+
+  /// Validates a header (PoW, height, parent connectivity) and stores it.
+  /// Extends the best-header branch when it becomes the longest known.
+  HeaderResult submit_header(const BlockHeader& header);
+  /// Height of the best-header branch (>= height()).
+  [[nodiscard]] std::uint64_t header_height() const {
+    return header_chain_.size() - 1;
+  }
+  [[nodiscard]] Digest best_header_hash() const {
+    return header_chain_.back();
+  }
+  /// Best-header-branch hash at `h` (zero when above the branch tip).
+  [[nodiscard]] Digest header_hash_at(std::uint64_t h) const {
+    return h < header_chain_.size() ? header_chain_[h] : Digest{};
+  }
+  /// Header by hash, whether body-less or from a stored block.
+  [[nodiscard]] const BlockHeader* find_header(const Digest& hash) const;
+  /// Locator over the best-header branch: dense near the tip, then
+  /// exponentially spaced, genesis last. Built from headers rather than
+  /// the active chain so a syncing node never re-fetches headers it
+  /// already connected.
+  [[nodiscard]] BlockLocator locator() const;
+  /// Serves a getheaders request: headers following the highest locator
+  /// hash found on the active chain (genesis if none match), oldest
+  /// first, at most `max`. Served from the active chain because that is
+  /// where this node can also serve the bodies.
+  [[nodiscard]] std::vector<BlockHeader> headers_after(
+      const BlockLocator& loc, std::size_t max) const;
+  /// True when the full block for `hash` is held (block tree or orphan
+  /// pool) — i.e. a download scheduler need not fetch it.
+  [[nodiscard]] bool has_body(const Digest& hash) const {
+    return blocks_.contains(hash) || orphans_.contains(hash);
+  }
+  /// Next `max` block hashes on the best-header branch whose bodies are
+  /// missing, ascending height — the download frontier. Non-const: it
+  /// advances a scan hint past permanently stored bodies (orphan-pool
+  /// bodies can still be evicted, so they stay re-requestable).
+  std::vector<Digest> next_missing_bodies(std::size_t max);
+
   // ---- Orphan pool introspection (tests, gossip backfill) ----
   [[nodiscard]] std::size_t orphan_count() const { return orphans_.size(); }
   [[nodiscard]] bool has_orphan(const Digest& hash) const {
@@ -195,6 +259,11 @@ class Blockchain {
  private:
   [[nodiscard]] bool on_active_chain(const Digest& hash) const;
   void push_undo(BlockUndo undo);
+  /// Re-roots the best-header branch onto `tip` (strictly higher than
+  /// the current best header).
+  void set_best_header(const Digest& tip, std::uint64_t tip_height);
+  /// Folds a freshly stored block's header into the header tree.
+  void note_stored_block(const Digest& hash, const BlockHeader& header);
   /// Switches the active branch to the stored block `tip`. Expects `tip`
   /// to be strictly higher than the current tip.
   SubmitResult activate_branch(const Digest& tip);
@@ -219,6 +288,17 @@ class Blockchain {
   std::unordered_multimap<Digest, Digest, crypto::DigestHash>
       orphan_children_;
   Digest genesis_hash_;
+  /// Body-less validated headers by own hash (headers-first sync); a
+  /// header whose body later arrives keeps its entry — find_header
+  /// consults this and the block tree.
+  std::unordered_map<Digest, BlockHeader, crypto::DigestHash> headers_;
+  /// Best-header branch by height, [0] = genesis. Never shorter than the
+  /// active chain; runs ahead of it while bodies download.
+  std::vector<Digest> header_chain_;
+  /// Scan hint for next_missing_bodies: lowest height whose body might
+  /// be missing. Only advanced past block-tree bodies; reset to the fork
+  /// height when the best-header branch re-roots.
+  std::uint64_t first_missing_body_ = 1;
   ChainState state_;
   /// Undo records for the most recent active blocks, oldest first; the
   /// back rolls back the tip. Trimmed to max_reorg_depth entries —

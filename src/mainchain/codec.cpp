@@ -304,6 +304,19 @@ BlockHeader decode_block_header(Reader& r) {
   return h;
 }
 
+void encode(Writer& w, const BlockLocator& loc) {
+  w.put_u64(loc.hashes.size());
+  for (const auto& h : loc.hashes) w.put_digest(h);
+}
+
+BlockLocator decode_locator(Reader& r) {
+  BlockLocator loc;
+  std::uint64_t n = r.get_count(kMaxLocatorHashes);
+  loc.hashes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) loc.hashes.push_back(r.get_digest());
+  return loc;
+}
+
 void encode(Writer& w, const Block& b) {
   encode(w, b.header);
   w.put_u64(b.transactions.size());
@@ -368,6 +381,57 @@ Transaction decode_transaction(std::span<const std::uint8_t> data) {
   Transaction tx = decode_transaction(r);
   r.expect_done();
   return tx;
+}
+
+std::vector<std::uint8_t> encode_locator(const BlockLocator& l) {
+  Writer w;
+  encode(w, l);
+  return w.take();
+}
+
+BlockLocator decode_locator(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  BlockLocator loc = decode_locator(r);
+  r.expect_done();
+  return loc;
+}
+
+std::vector<std::uint8_t> encode_headers(
+    const std::vector<BlockHeader>& headers) {
+  Writer w;
+  w.put_u64(headers.size());
+  for (const auto& h : headers) encode(w, h);
+  return w.take();
+}
+
+std::vector<BlockHeader> decode_headers(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  std::uint64_t n = r.get_count(kMaxHeadersPerMsg);
+  std::vector<BlockHeader> headers;
+  headers.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    headers.push_back(decode_block_header(r));
+  }
+  r.expect_done();
+  return headers;
+}
+
+std::vector<std::uint8_t> encode_inv(
+    const std::vector<crypto::Digest>& hashes) {
+  Writer w;
+  w.put_u64(hashes.size());
+  for (const auto& h : hashes) w.put_digest(h);
+  return w.take();
+}
+
+std::vector<crypto::Digest> decode_inv(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  std::uint64_t n = r.get_count(kMaxInvElements);
+  std::vector<crypto::Digest> hashes;
+  hashes.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) hashes.push_back(r.get_digest());
+  r.expect_done();
+  return hashes;
 }
 
 }  // namespace zendoo::mainchain::codec

@@ -100,6 +100,9 @@ SidechainParams decode_sidechain_params(Reader& r);
 void encode(Writer& w, const BlockHeader& h);
 BlockHeader decode_block_header(Reader& r);
 
+void encode(Writer& w, const BlockLocator& loc);
+BlockLocator decode_locator(Reader& r);
+
 void encode(Writer& w, const Block& b);
 Block decode_block(Reader& r);
 
@@ -112,6 +115,34 @@ Block decode_block(Reader& r);
 [[nodiscard]] std::vector<std::uint8_t> encode_transaction(
     const Transaction& tx);
 [[nodiscard]] Transaction decode_transaction(
+    std::span<const std::uint8_t> data);
+
+// -- headers-first sync messages --
+//
+// Wire caps for the sync messages: strict decode bounds against hostile
+// peers, far above what an honest node ever sends (a locator over a
+// 2^64-block chain needs ~70 hashes; header batches and getdata lists
+// are sized by the sender's pipeline config, well under these).
+
+inline constexpr std::uint64_t kMaxLocatorHashes = 128;
+inline constexpr std::uint64_t kMaxHeadersPerMsg = 2000;
+inline constexpr std::uint64_t kMaxInvElements = 4096;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_locator(const BlockLocator& l);
+/// Decodes a locator and requires the buffer to be fully consumed.
+[[nodiscard]] BlockLocator decode_locator(std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_headers(
+    const std::vector<BlockHeader>& headers);
+/// Decodes a header batch and requires the buffer to be fully consumed.
+[[nodiscard]] std::vector<BlockHeader> decode_headers(
+    std::span<const std::uint8_t> data);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_inv(
+    const std::vector<crypto::Digest>& hashes);
+/// Decodes a block-hash list (getdata payload); requires the buffer to be
+/// fully consumed.
+[[nodiscard]] std::vector<crypto::Digest> decode_inv(
     std::span<const std::uint8_t> data);
 
 }  // namespace zendoo::mainchain::codec

@@ -1,19 +1,22 @@
 #include "net/node.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "mainchain/codec.hpp"
 
 namespace zendoo::net {
 
+using mainchain::HeaderCode;
 using mainchain::SubmitCode;
 
 NetNode::NetNode(SimNet& net, mainchain::ChainParams params,
-                 const crypto::KeyPair& miner_key)
-    : net_(net), engine_(params, miner_key) {
+                 const crypto::KeyPair& miner_key, SyncConfig sync)
+    : net_(net), engine_(params, miner_key), sync_(sync) {
   id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
     handle(from, p);
   });
+  net_.set_timer_handler(id_, [this](std::uint64_t) { on_stall_timer(); });
 }
 
 std::vector<std::uint8_t> NetNode::encode_block_msg(
@@ -25,8 +28,20 @@ std::vector<std::uint8_t> NetNode::encode_block_msg(
   return wire;
 }
 
+void NetNode::send_msg(NodeId to, MsgType type,
+                       const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(body.size() + 1);
+  wire.push_back(static_cast<std::uint8_t>(type));
+  wire.insert(wire.end(), body.begin(), body.end());
+  ++stats_.msgs_sent[static_cast<std::size_t>(type)];
+  net_.send(id_, to, std::move(wire));
+}
+
 mainchain::Block NetNode::mine() {
   mainchain::Block block = engine_.step();
+  stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)] +=
+      net_.node_count() - 1;
   net_.broadcast(id_, encode_block_msg(block));
   return block;
 }
@@ -34,6 +49,8 @@ mainchain::Block NetNode::mine() {
 void NetNode::announce_tip() {
   if (height() == 0) return;  // nothing beyond the shared genesis
   const mainchain::Block* tip_block = chain().find_block(tip());
+  stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)] +=
+      net_.node_count() - 1;
   net_.broadcast(id_, encode_block_msg(*tip_block));
 }
 
@@ -42,33 +59,47 @@ void NetNode::relay_block(NodeId origin, std::vector<std::uint8_t> wire) {
   auto shared =
       std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
   for (NodeId to = 0; to < net_.node_count(); ++to) {
-    if (to != id_ && to != origin) net_.send(id_, to, shared);
+    if (to != id_ && to != origin) {
+      ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
+      net_.send(id_, to, shared);
+    }
   }
   ++stats_.blocks_relayed;
 }
 
 void NetNode::request_block(NodeId from, const crypto::Digest& hash) {
-  std::vector<std::uint8_t> req{
-      static_cast<std::uint8_t>(MsgType::kGetBlock)};
-  req.insert(req.end(), hash.bytes.begin(), hash.bytes.end());
-  net_.send(id_, from, std::move(req));
+  send_msg(from, MsgType::kGetBlock,
+           {hash.bytes.begin(), hash.bytes.end()});
 }
 
 void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
   if (payload.empty()) {
-    ++stats_.invalid;
+    ++stats_.malformed;
     return;
   }
   auto body = payload.subspan(1);
-  switch (static_cast<MsgType>(payload.front())) {
+  const auto tag = static_cast<MsgType>(payload.front());
+  switch (tag) {
     case MsgType::kBlock:
-      on_block(from, body);
-      return;
     case MsgType::kGetBlock:
-      on_get_block(from, body);
+    case MsgType::kGetHeaders:
+    case MsgType::kHeaders:
+    case MsgType::kGetData:
+    case MsgType::kNotFound:
+      ++stats_.msgs_received[static_cast<std::size_t>(tag)];
+      break;
+    default:
+      ++stats_.malformed;
       return;
   }
-  ++stats_.invalid;
+  switch (tag) {
+    case MsgType::kBlock: on_block(from, body); return;
+    case MsgType::kGetBlock: on_get_block(from, body); return;
+    case MsgType::kGetHeaders: on_get_headers(from, body); return;
+    case MsgType::kHeaders: on_headers(from, body); return;
+    case MsgType::kGetData: on_get_data(from, body); return;
+    case MsgType::kNotFound: on_not_found(from, body); return;
+  }
 }
 
 void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
@@ -76,49 +107,87 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
   try {
     block = mainchain::codec::decode_block(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.invalid;
+    ++stats_.malformed;
     return;
+  }
+
+  // A body we explicitly asked for frees its download slot — whoever
+  // actually delivered it (the assigned peer or a faster flood).
+  const crypto::Digest hash = block.hash();
+  bool requested = false;
+  if (auto it = in_flight_.find(hash); it != in_flight_.end()) {
+    requested = true;
+    ++stats_.blocks_downloaded;
+    if (it->second.peer < peer_in_flight_.size()) {
+      --peer_in_flight_[it->second.peer];
+    }
+    in_flight_.erase(it);
   }
 
   auto result = engine_.submit_external_block(block);
   if (result.reorged) ++stats_.reorgs;
   switch (result.code) {
-    case SubmitCode::kAccepted: {
+    case SubmitCode::kAccepted:
       ++stats_.blocks_received;
-      // Flood the block onward; peers that already have it answer with a
-      // cheap duplicate no-op, so the flood terminates.
-      std::vector<std::uint8_t> wire{
-          static_cast<std::uint8_t>(MsgType::kBlock)};
-      wire.insert(wire.end(), body.begin(), body.end());
-      relay_block(from, std::move(wire));
+      // Flood unsolicited news onward; solicited downloads are catch-up
+      // traffic the rest of the network already has, so re-flooding them
+      // would only multiply duplicates.
+      if (!requested) {
+        std::vector<std::uint8_t> wire{
+            static_cast<std::uint8_t>(MsgType::kBlock)};
+        wire.insert(wire.end(), body.begin(), body.end());
+        relay_block(from, std::move(wire));
+      }
+      if (sync_.mode == SyncMode::kHeadersFirst) schedule_downloads();
       return;
-    }
     case SubmitCode::kOrphaned:
       ++stats_.orphans_buffered;
-      // Backfill walk: ask the sender for the missing parent. If that
-      // parent is itself unknown it will be orphaned in turn and the walk
-      // continues until a known ancestor connects the whole branch.
-      request_block(from, block.header.prev_hash);
-      return;
-    case SubmitCode::kDuplicate:
-      ++stats_.duplicates;
-      // Still waiting for this block's parent? A previous backfill
-      // request (or its answer) may have been lost to a drop or a
-      // partition cut — re-arm the walk instead of stalling forever.
-      if (chain().has_orphan(block.hash())) {
+      if (sync_.mode == SyncMode::kHeadersFirst) {
+        on_disconnected_block(from, block.header.prev_hash);
+      } else {
+        // Backfill walk: ask the sender for the missing parent. If that
+        // parent is itself unknown it will be orphaned in turn and the
+        // walk continues until a known ancestor connects the branch.
         request_block(from, block.header.prev_hash);
       }
       return;
-    case SubmitCode::kInvalid:
-      ++stats_.invalid;
+    case SubmitCode::kDuplicate:
+      ++stats_.duplicates;
+      // Still waiting for this block's parent? A previous request (or
+      // its answer) may have been lost to a drop or a partition cut —
+      // re-arm the sync instead of stalling forever.
+      if (chain().has_orphan(hash)) {
+        if (sync_.mode == SyncMode::kHeadersFirst) {
+          on_disconnected_block(from, block.header.prev_hash);
+        } else {
+          request_block(from, block.header.prev_hash);
+        }
+      }
       return;
+    case SubmitCode::kInvalid:
+      ++stats_.rejected;
+      return;
+  }
+}
+
+void NetNode::on_disconnected_block(NodeId from,
+                                    const crypto::Digest& prev_hash) {
+  if (chain().find_header(prev_hash) == nullptr) {
+    // Unknown ancestry: learn the chain shape first. Headers arrive
+    // fork-point-first, so every later body request is connectable.
+    start_header_sync(from);
+  } else {
+    // Ancestry known — the body is (or will be) on the download
+    // frontier; keep the pipeline full. This also re-arms downloads the
+    // stall logic gave up on during a blackout.
+    schedule_downloads();
   }
 }
 
 void NetNode::on_get_block(NodeId from,
                            std::span<const std::uint8_t> body) {
   if (body.size() != crypto::Digest{}.bytes.size()) {
-    ++stats_.invalid;
+    ++stats_.malformed;
     return;
   }
   crypto::Digest hash;
@@ -126,7 +195,220 @@ void NetNode::on_get_block(NodeId from,
   const mainchain::Block* block = chain().find_block(hash);
   if (block == nullptr) return;  // don't have it; requester re-syncs later
   ++stats_.get_block_served;
+  ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
   net_.send(id_, from, encode_block_msg(*block));
+}
+
+void NetNode::on_get_headers(NodeId from,
+                             std::span<const std::uint8_t> body) {
+  mainchain::BlockLocator loc;
+  try {
+    loc = mainchain::codec::decode_locator(body);
+  } catch (const mainchain::codec::CodecError&) {
+    ++stats_.malformed;
+    return;
+  }
+  ++stats_.get_headers_served;
+  // Always answer, even with an empty batch: the reply is what clears
+  // the requester's in-flight headers state.
+  auto headers = chain().headers_after(loc, sync_.headers_batch);
+  send_msg(from, MsgType::kHeaders,
+           mainchain::codec::encode_headers(headers));
+}
+
+void NetNode::on_headers(NodeId from, std::span<const std::uint8_t> body) {
+  std::vector<mainchain::BlockHeader> headers;
+  try {
+    headers = mainchain::codec::decode_headers(body);
+  } catch (const mainchain::codec::CodecError&) {
+    ++stats_.malformed;
+    return;
+  }
+  headers_request_active_ = false;
+  headers_attempts_ = 0;
+  stats_.headers_received += headers.size();
+  bool extended = false;
+  for (const auto& h : headers) {
+    auto res = chain().submit_header(h);
+    if (res.accepted()) {
+      ++stats_.headers_connected;
+      extended = true;
+    } else if (res.code == HeaderCode::kInvalid) {
+      ++stats_.rejected;
+    }
+  }
+  if (sync_.mode == SyncMode::kHeadersFirst) {
+    // A full batch means the sender has more: pipeline the next header
+    // request while the bodies below start downloading.
+    if (extended && headers.size() >= sync_.headers_batch) {
+      request_headers(from);
+    }
+    schedule_downloads();
+  }
+}
+
+void NetNode::on_get_data(NodeId from, std::span<const std::uint8_t> body) {
+  std::vector<crypto::Digest> hashes;
+  try {
+    hashes = mainchain::codec::decode_inv(body);
+  } catch (const mainchain::codec::CodecError&) {
+    ++stats_.malformed;
+    return;
+  }
+  std::vector<crypto::Digest> missing;
+  for (const auto& hash : hashes) {
+    const mainchain::Block* block = chain().find_block(hash);
+    if (block == nullptr) {
+      missing.push_back(hash);
+      continue;
+    }
+    ++stats_.get_data_served;
+    ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
+    net_.send(id_, from, encode_block_msg(*block));
+  }
+  // Tell the requester what we could not serve: a silent skip would cost
+  // it a full stall timeout before trying another peer.
+  if (!missing.empty()) {
+    send_msg(from, MsgType::kNotFound, mainchain::codec::encode_inv(missing));
+  }
+}
+
+void NetNode::on_not_found(NodeId from, std::span<const std::uint8_t> body) {
+  std::vector<crypto::Digest> hashes;
+  try {
+    hashes = mainchain::codec::decode_inv(body);
+  } catch (const mainchain::codec::CodecError&) {
+    ++stats_.malformed;
+    return;
+  }
+  std::map<NodeId, std::vector<crypto::Digest>> batches;
+  for (const auto& hash : hashes) {
+    auto it = in_flight_.find(hash);
+    // Only the peer that owns the slot may bounce it — a stale notfound
+    // from an earlier assignment must not steal the live request.
+    if (it == in_flight_.end() || it->second.peer != from) continue;
+    reassign_download(hash, from, batches);
+  }
+  for (const auto& [peer, batch] : batches) {
+    send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(batch));
+  }
+}
+
+void NetNode::start_header_sync(NodeId peer) {
+  if (sync_.mode != SyncMode::kHeadersFirst) return;
+  if (headers_request_active_) return;
+  headers_attempts_ = 0;
+  request_headers(peer);
+}
+
+void NetNode::request_headers(NodeId peer) {
+  headers_request_active_ = true;
+  headers_peer_ = peer;
+  headers_sent_at_ = net_.now();
+  send_msg(peer, MsgType::kGetHeaders,
+           mainchain::codec::encode_locator(chain().locator()));
+  arm_stall_timer();
+}
+
+std::optional<NodeId> NetNode::pick_download_peer(
+    std::optional<NodeId> exclude) {
+  const std::size_t n = net_.node_count();
+  if (peer_in_flight_.size() < n) peer_in_flight_.resize(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId cand = static_cast<NodeId>((next_dl_peer_ + i) % n);
+    if (cand == id_) continue;
+    if (exclude && *exclude == cand && n > 2) continue;
+    if (peer_in_flight_[cand] >= sync_.per_peer_window) continue;
+    next_dl_peer_ = static_cast<NodeId>((cand + 1) % n);
+    return cand;
+  }
+  return std::nullopt;
+}
+
+void NetNode::schedule_downloads() {
+  if (sync_.mode != SyncMode::kHeadersFirst) return;
+  if (in_flight_.size() >= sync_.max_in_flight) return;
+  // The frontier includes bodies already in flight (they are still
+  // missing), so ask for a full window's worth and skip those.
+  auto missing = chain().next_missing_bodies(sync_.max_in_flight);
+  std::map<NodeId, std::vector<crypto::Digest>> batches;
+  for (const auto& hash : missing) {
+    if (in_flight_.size() >= sync_.max_in_flight) break;
+    if (in_flight_.contains(hash)) continue;
+    auto peer = pick_download_peer(std::nullopt);
+    if (!peer) break;  // every window is full
+    in_flight_.emplace(hash, InFlight{*peer, net_.now(), 1});
+    ++peer_in_flight_[*peer];
+    batches[*peer].push_back(hash);
+  }
+  for (const auto& [peer, hashes] : batches) {
+    send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(hashes));
+  }
+  if (!batches.empty()) arm_stall_timer();
+}
+
+void NetNode::arm_stall_timer() {
+  if (stall_timer_armed_) return;
+  stall_timer_armed_ = true;
+  net_.set_timer(id_, sync_.stall_timeout);
+}
+
+void NetNode::on_stall_timer() {
+  stall_timer_armed_ = false;
+  if (sync_.mode != SyncMode::kHeadersFirst) return;
+  const SimTime now = net_.now();
+
+  if (headers_request_active_ &&
+      now - headers_sent_at_ >= sync_.stall_timeout) {
+    // The header round died in flight. Retry against the next peer a
+    // bounded number of times; past that, the next announcement restarts
+    // the sync (retrying into a blackout forever would keep the event
+    // queue spinning).
+    headers_request_active_ = false;
+    if (++headers_attempts_ < sync_.max_request_attempts) {
+      ++stats_.stalled_rerequests;
+      NodeId next = static_cast<NodeId>((headers_peer_ + 1) % net_.node_count());
+      if (next == id_) next = static_cast<NodeId>((next + 1) % net_.node_count());
+      request_headers(next);
+    }
+  }
+
+  std::vector<crypto::Digest> stalled;
+  for (const auto& [hash, inf] : in_flight_) {
+    if (now - inf.sent_at >= sync_.stall_timeout) stalled.push_back(hash);
+  }
+  std::sort(stalled.begin(), stalled.end());  // deterministic re-issue order
+  std::map<NodeId, std::vector<crypto::Digest>> batches;
+  for (const auto& hash : stalled) {
+    reassign_download(hash, in_flight_.at(hash).peer, batches);
+  }
+  for (const auto& [peer, hashes] : batches) {
+    send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(hashes));
+  }
+  if (!in_flight_.empty() || headers_request_active_) arm_stall_timer();
+}
+
+void NetNode::reassign_download(
+    const crypto::Digest& hash, NodeId from,
+    std::map<NodeId, std::vector<crypto::Digest>>& batches) {
+  InFlight& inf = in_flight_.at(hash);
+  --peer_in_flight_[inf.peer];
+  auto peer = inf.attempts < sync_.max_request_attempts
+                  ? pick_download_peer(from)
+                  : std::nullopt;
+  if (!peer) {
+    // Attempts exhausted (or all windows full): give the slot up. The
+    // hash stays on the download frontier, so the next headers/block
+    // arrival re-requests it.
+    in_flight_.erase(hash);
+    return;
+  }
+  ++stats_.stalled_rerequests;
+  inf.peer = *peer;
+  inf.sent_at = net_.now();
+  ++inf.attempts;
+  ++peer_in_flight_[*peer];
+  batches[*peer].push_back(hash);
 }
 
 }  // namespace zendoo::net

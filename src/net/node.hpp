@@ -2,12 +2,25 @@
 // optional Latus sidechains) attached to a SimNet endpoint.
 //
 // Nodes gossip whole blocks over the wire codec and flood-relay anything
-// new; a block arriving before its parent lands in the Blockchain's
-// orphan pool and the node requests the missing ancestor from whoever
-// sent it (a minimal getdata walk). Combined with the pool's automatic
-// orphan adoption this makes delivery-order irrelevant: any schedule of
-// latencies and races converges to the same chain the blocks describe.
+// new. Catch-up sync comes in two flavours, selected per node:
+//
+//  - kLegacyWalk: a block arriving before its parent lands in the orphan
+//    pool and the node asks the sender for the missing ancestor
+//    (kGetBlock), one block per round trip — O(depth) round trips.
+//  - kHeadersFirst (default): an unconnectable block triggers a
+//    kGetHeaders request carrying a block locator; the peer answers with
+//    header batches that connect into the Blockchain's header tree ahead
+//    of the bodies, and a download scheduler pipelines kGetData block
+//    requests across every peer with a bounded in-flight window per
+//    peer. Bodies arrive in any order (the orphan pool auto-connects
+//    them); a stall timer re-requests unanswered blocks from another
+//    peer. Deep catch-up costs O(depth / (batch * peers)) round trips.
 #pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <unordered_map>
 
 #include "core/engine.hpp"
 #include "net/sim.hpp"
@@ -16,14 +29,51 @@ namespace zendoo::net {
 
 /// Wire message kinds exchanged by NetNodes (1-byte envelope tag).
 enum class MsgType : std::uint8_t {
-  kBlock = 1,     ///< codec-encoded Block
-  kGetBlock = 2,  ///< 32-byte block hash the sender wants
+  kBlock = 1,       ///< codec-encoded Block
+  kGetBlock = 2,    ///< 32-byte block hash the sender wants (legacy walk)
+  kGetHeaders = 3,  ///< block locator; answered with a kHeaders batch
+  kHeaders = 4,     ///< batch of headers, fork-point-first
+  kGetData = 5,     ///< list of block hashes the sender wants bodies for
+  kNotFound = 6,    ///< kGetData hashes the sender could not serve — lets
+                    ///< the requester re-assign immediately instead of
+                    ///< waiting out the stall timer
+};
+
+/// One past the highest wire tag — sizes the per-type stat arrays.
+inline constexpr std::size_t kMsgTypeCount = 7;
+
+/// How this node fetches chain history it is missing.
+enum class SyncMode : std::uint8_t {
+  kLegacyWalk,    ///< one kGetBlock per missing ancestor, sender-only
+  kHeadersFirst,  ///< locator -> header batches -> parallel body download
+};
+
+/// Headers-first pipeline knobs. Serving (kGetHeaders/kGetData answers)
+/// is mode-independent; only the requesting strategy switches on `mode`.
+struct SyncConfig {
+  SyncMode mode = SyncMode::kHeadersFirst;
+  /// Headers per kHeaders message (served and requested); a full batch
+  /// tells the requester more are available.
+  std::size_t headers_batch = 128;
+  /// Max block bodies in flight to a single peer.
+  std::size_t per_peer_window = 16;
+  /// Max block bodies in flight across all peers. Keep at or below
+  /// ChainParams::max_orphan_blocks: out-of-order arrivals buffer in the
+  /// orphan pool, and a window wider than the pool would evict bodies
+  /// faster than they connect.
+  std::size_t max_in_flight = 64;
+  /// Ticks without an answer before a request is re-issued elsewhere.
+  SimTime stall_timeout = 32;
+  /// Attempts per block (initial + re-requests) before giving up; the
+  /// next announcement or headers arrival re-arms the download, so this
+  /// bounds retry storms during blackouts without wedging sync.
+  std::uint32_t max_request_attempts = 4;
 };
 
 class NetNode {
  public:
   NetNode(SimNet& net, mainchain::ChainParams params,
-          const crypto::KeyPair& miner_key);
+          const crypto::KeyPair& miner_key, SyncConfig sync = {});
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] core::Engine& engine() { return engine_; }
@@ -34,6 +84,7 @@ class NetNode {
   }
   [[nodiscard]] crypto::Digest tip() const { return engine_.mc().tip_hash(); }
   [[nodiscard]] std::uint64_t height() const { return engine_.mc().height(); }
+  [[nodiscard]] const SyncConfig& sync_config() const { return sync_; }
 
   /// Mine one block from the local mempool on the local tip and gossip
   /// it to every peer.
@@ -41,7 +92,7 @@ class NetNode {
 
   /// Re-broadcast the current tip block — how a node restarts sync after
   /// a partition heals (peers that missed the branch orphan the tip and
-  /// walk back for the ancestors).
+  /// start a headers-first sync or the legacy ancestor walk).
   void announce_tip();
 
   struct Stats {
@@ -49,25 +100,95 @@ class NetNode {
     std::uint64_t blocks_relayed = 0;
     std::uint64_t orphans_buffered = 0;
     std::uint64_t duplicates = 0;
-    std::uint64_t invalid = 0;  ///< malformed payloads + rejected blocks
-    std::uint64_t get_block_served = 0;
+    std::uint64_t malformed = 0;  ///< undecodable payloads / unknown tags
+    std::uint64_t rejected = 0;   ///< well-formed blocks/headers refused
+                                  ///< by validation
+    std::uint64_t get_block_served = 0;    ///< legacy single-block answers
+    std::uint64_t get_headers_served = 0;  ///< kGetHeaders answered
+    std::uint64_t get_data_served = 0;     ///< bodies served via kGetData
+    std::uint64_t headers_received = 0;    ///< header items seen
+    std::uint64_t headers_connected = 0;   ///< header items accepted
+    std::uint64_t blocks_downloaded = 0;   ///< solicited bodies received
+    std::uint64_t stalled_rerequests = 0;  ///< re-issues after a stall
+                                           ///< or a kNotFound bounce
     std::uint64_t reorgs = 0;
+
+    /// Wire traffic by MsgType tag (index = raw tag value, 0 unused).
+    std::array<std::uint64_t, kMsgTypeCount> msgs_sent{};
+    std::array<std::uint64_t, kMsgTypeCount> msgs_received{};
+    [[nodiscard]] std::uint64_t sent(MsgType t) const {
+      return msgs_sent[static_cast<std::size_t>(t)];
+    }
+    [[nodiscard]] std::uint64_t received(MsgType t) const {
+      return msgs_received[static_cast<std::size_t>(t)];
+    }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Blocks currently requested and unanswered (scheduler introspection).
+  [[nodiscard]] std::size_t blocks_in_flight() const {
+    return in_flight_.size();
+  }
 
  private:
+  struct InFlight {
+    NodeId peer = 0;
+    SimTime sent_at = 0;
+    std::uint32_t attempts = 1;
+  };
+
   void handle(NodeId from, std::span<const std::uint8_t> payload);
   void on_block(NodeId from, std::span<const std::uint8_t> body);
   void on_get_block(NodeId from, std::span<const std::uint8_t> body);
+  void on_get_headers(NodeId from, std::span<const std::uint8_t> body);
+  void on_headers(NodeId from, std::span<const std::uint8_t> body);
+  void on_get_data(NodeId from, std::span<const std::uint8_t> body);
+  void on_not_found(NodeId from, std::span<const std::uint8_t> body);
+  void on_stall_timer();
+
+  /// Moves a hash's pending download to another peer (not `from`), or
+  /// releases the slot when attempts are exhausted / no peer has room.
+  /// Collects the re-issued hash into `batches` instead of sending.
+  void reassign_download(
+      const crypto::Digest& hash, NodeId from,
+      std::map<NodeId, std::vector<crypto::Digest>>& batches);
+
+  /// Reaction to a block that cannot connect yet (orphaned or an orphan
+  /// duplicate): fetch headers if its ancestry is unknown, otherwise let
+  /// the scheduler keep the pipeline full.
+  void on_disconnected_block(NodeId from, const crypto::Digest& prev_hash);
+  /// Starts a headers-first round with `peer` unless one is in flight.
+  void start_header_sync(NodeId peer);
+  void request_headers(NodeId peer);
+  /// Fills every peer's in-flight window from the download frontier.
+  void schedule_downloads();
+  /// Round-robin pick of a peer with window capacity; `exclude` skips a
+  /// peer that just stalled (ignored when it is the only other node).
+  std::optional<NodeId> pick_download_peer(std::optional<NodeId> exclude);
+  void arm_stall_timer();
+
   void relay_block(NodeId origin, std::vector<std::uint8_t> wire);
   void request_block(NodeId from, const crypto::Digest& hash);
+  void send_msg(NodeId to, MsgType type,
+                const std::vector<std::uint8_t>& body);
   static std::vector<std::uint8_t> encode_block_msg(
       const mainchain::Block& block);
 
   SimNet& net_;
   core::Engine engine_;
   NodeId id_;
+  SyncConfig sync_;
   Stats stats_;
+
+  /// Requested bodies awaiting an answer, by block hash.
+  std::unordered_map<crypto::Digest, InFlight, crypto::DigestHash> in_flight_;
+  /// In-flight request count per peer (indexed by NodeId, grown lazily).
+  std::vector<std::size_t> peer_in_flight_;
+  NodeId next_dl_peer_ = 0;  ///< round-robin cursor
+  bool headers_request_active_ = false;
+  NodeId headers_peer_ = 0;
+  SimTime headers_sent_at_ = 0;
+  std::uint32_t headers_attempts_ = 0;
+  bool stall_timer_armed_ = false;
 };
 
 }  // namespace zendoo::net

@@ -9,11 +9,39 @@
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <variant>
 
 #include "net/node.hpp"
 
 namespace zendoo::net {
+
+/// One SimNet plus `n` NetNodes with deterministic per-index miner keys —
+/// the standard fixture for net tests and benches. Every node shares the
+/// same chain parameters and sync configuration.
+struct NodeCluster {
+  SimNet net;
+  std::vector<std::unique_ptr<NetNode>> nodes;
+
+  NodeCluster(std::uint64_t seed, std::size_t n, SyncConfig sync = {},
+              mainchain::ChainParams params = {})
+      : net(seed) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto key = crypto::KeyPair::from_seed(crypto::Hasher(crypto::Domain::kGeneric)
+                                                .write_str("cluster-miner")
+                                                .write_u64(i)
+                                                .finalize());
+      nodes.push_back(std::make_unique<NetNode>(net, params, key, sync));
+    }
+  }
+  NetNode& operator[](std::size_t i) { return *nodes[i]; }
+  std::vector<NetNode*> ptrs() {
+    std::vector<NetNode*> out;
+    out.reserve(nodes.size());
+    for (auto& n : nodes) out.push_back(n.get());
+    return out;
+  }
+};
 
 /// One scheduled action.
 struct ScenarioEvent {

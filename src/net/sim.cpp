@@ -11,12 +11,44 @@ std::uint64_t pair_key(NodeId a, NodeId b) {
   return (std::uint64_t{a} << 32) | b;
 }
 
+std::uint64_t directed_key(NodeId from, NodeId to) {
+  return (std::uint64_t{from} << 32) | to;
+}
+
 }  // namespace
 
 NodeId SimNet::add_node(Handler handler) {
   handlers_.push_back(std::move(handler));
+  timer_handlers_.emplace_back();
   if (!group_of_.empty()) group_of_.push_back(0);
   return static_cast<NodeId>(handlers_.size() - 1);
+}
+
+void SimNet::set_timer_handler(NodeId id, TimerHandler handler) {
+  if (id >= handlers_.size()) {
+    throw std::out_of_range("SimNet::set_timer_handler: unknown node id");
+  }
+  timer_handlers_[id] = std::move(handler);
+}
+
+void SimNet::set_timer(NodeId id, SimTime delay, std::uint64_t token) {
+  if (id >= handlers_.size()) {
+    throw std::out_of_range("SimNet::set_timer: unknown node id");
+  }
+  Pending event;
+  event.at = now_ + delay;
+  event.seq = next_seq_++;
+  event.from = id;
+  event.to = id;
+  event.is_timer = true;
+  event.token = token;
+  ++stats_.timers_set;
+  queue_.push(std::move(event));
+}
+
+SimNet::LinkStats SimNet::link_stats(NodeId from, NodeId to) const {
+  auto it = link_stats_.find(directed_key(from, to));
+  return it == link_stats_.end() ? LinkStats{} : it->second;
 }
 
 void SimNet::set_link(NodeId a, NodeId b, const LinkParams& link) {
@@ -59,6 +91,7 @@ void SimNet::schedule(
   msg.payload = std::move(payload);
   msg.dropped = link.drop_num != 0 && rng_.chance(link.drop_num, link.drop_den);
   ++stats_.sent;
+  ++link_stats_[directed_key(from, to)].queued;
   queue_.push(std::move(msg));
 }
 
@@ -85,6 +118,16 @@ void SimNet::broadcast(NodeId from,
 }
 
 void SimNet::deliver(const Pending& msg) {
+  if (msg.is_timer) {
+    // Timers are node-local: the partition/drop machinery never touches
+    // them, and they stay out of the delivery trace (they carry no
+    // payload to hash; determinism is preserved because they flow
+    // through the same (time, seq) queue as everything else).
+    ++stats_.timers_fired;
+    if (timer_handlers_[msg.to]) timer_handlers_[msg.to](msg.token);
+    return;
+  }
+  LinkStats& link = link_stats_[directed_key(msg.from, msg.to)];
   TraceEntry entry;
   entry.time = msg.at;
   entry.seq = msg.seq;
@@ -96,12 +139,15 @@ void SimNet::deliver(const Pending& msg) {
   if (msg.dropped) {
     entry.outcome = TraceEntry::Outcome::kDropped;
     ++stats_.dropped;
+    ++link.dropped;
   } else if (!reachable(msg.from, msg.to)) {
     entry.outcome = TraceEntry::Outcome::kPartitioned;
     ++stats_.partitioned;
+    ++link.partitioned;
   } else {
     entry.outcome = TraceEntry::Outcome::kDelivered;
     ++stats_.delivered;
+    ++link.delivered;
   }
   trace_.push_back(entry);
   if (entry.outcome == TraceEntry::Outcome::kDelivered) {

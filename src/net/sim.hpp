@@ -62,12 +62,23 @@ class SimNet {
   /// Called on the receiving node for each delivered message.
   using Handler =
       std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+  /// Called on a node when one of its timers fires.
+  using TimerHandler = std::function<void(std::uint64_t token)>;
 
   explicit SimNet(std::uint64_t seed) : rng_(seed) {}
 
   /// Registers a node; ids are dense and assigned in call order.
   NodeId add_node(Handler handler);
   [[nodiscard]] std::size_t node_count() const { return handlers_.size(); }
+
+  /// Installs the callback `set_timer` events fire on. Timers are local
+  /// to the node: they share the (time, seq) event queue — so they stay
+  /// deterministic relative to message deliveries — but are never
+  /// dropped, delayed or cut by partitions.
+  void set_timer_handler(NodeId id, TimerHandler handler);
+  /// Schedules a timer for `id` at now + delay, carrying `token` back to
+  /// the node's TimerHandler.
+  void set_timer(NodeId id, SimTime delay, std::uint64_t token = 0);
 
   /// Link model applied to every pair without an explicit override.
   void set_default_link(const LinkParams& link) { default_link_ = link; }
@@ -118,8 +129,22 @@ class SimNet {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t partitioned = 0;
+    std::uint64_t timers_set = 0;
+    std::uint64_t timers_fired = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Per-directed-link delivery accounting — lets a bench sweep tell
+  /// whether the simulator or the chain behind it is the bottleneck, and
+  /// a sync test see exactly which peer served what.
+  struct LinkStats {
+    std::uint64_t queued = 0;     ///< send() calls scheduled on this link
+    std::uint64_t delivered = 0;  ///< reached the receiving handler
+    std::uint64_t dropped = 0;    ///< lost to the link's drop model
+    std::uint64_t partitioned = 0;  ///< died crossing an active cut
+  };
+  /// Stats for the directed link from -> to (zeroes when never used).
+  [[nodiscard]] LinkStats link_stats(NodeId from, NodeId to) const;
 
  private:
   struct Pending {
@@ -129,7 +154,9 @@ class SimNet {
     NodeId to = 0;
     /// Shared so a broadcast does not copy the payload per receiver.
     std::shared_ptr<const std::vector<std::uint8_t>> payload;
-    bool dropped = false;  ///< lost to the drop model (decided at send)
+    bool dropped = false;   ///< lost to the drop model (decided at send)
+    bool is_timer = false;  ///< local timer event (no payload, no loss)
+    std::uint64_t token = 0;  ///< opaque value for the timer handler
   };
   struct LaterFirst {
     bool operator()(const Pending& a, const Pending& b) const {
@@ -144,9 +171,12 @@ class SimNet {
 
   crypto::Rng rng_;
   std::vector<Handler> handlers_;
+  std::vector<TimerHandler> timer_handlers_;
   LinkParams default_link_;
   /// Key: (min(a,b) << 32) | max(a,b).
   std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
+  /// Key: (from << 32) | to — directed, unlike link_overrides_.
+  std::unordered_map<std::uint64_t, LinkStats> link_stats_;
   /// Empty = fully connected; else group_of_[id] labels the partition.
   std::vector<std::uint32_t> group_of_;
   std::priority_queue<Pending, std::vector<Pending>, LaterFirst> queue_;

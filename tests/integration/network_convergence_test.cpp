@@ -201,5 +201,81 @@ TEST_P(SidechainNetSweep, SidechainStateSurvivesNetworkReorgs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SidechainNetSweep,
                          ::testing::Values(11, 12, 13, 14));
 
+// ---- Headers-first vs legacy-walk catch-up comparison ----
+//
+// The same deep catch-up scenario under both sync modes must end on the
+// identical chain (mode only changes how history is fetched, never what
+// is accepted) while headers-first spends strictly fewer announce
+// rounds, simulated ticks and delivered messages.
+
+struct CatchUpOutcome {
+  Digest tip;
+  Digest fingerprint;
+  std::uint64_t height = 0;
+  std::size_t rounds = 0;        ///< announce rounds until synced
+  net::SimTime ticks = 0;        ///< sim time spent after the heal
+  std::uint64_t delivered = 0;   ///< messages delivered after the heal
+};
+
+CatchUpOutcome run_catch_up(std::uint64_t seed, net::SyncMode mode,
+                            std::uint64_t depth) {
+  net::SyncConfig sync;
+  sync.mode = mode;
+  net::NodeCluster c(seed, 5, sync);
+  const std::size_t straggler = 4;
+  c.net.partition({{0, 1, 2, 3}, {straggler}});
+  for (std::uint64_t i = 0; i < depth; ++i) c[0].mine();
+  c.net.run_until_idle();
+  EXPECT_EQ(c[straggler].height(), 0u);
+
+  c.net.heal();
+  const net::SimTime t0 = c.net.now();
+  const std::uint64_t delivered0 = c.net.stats().delivered;
+  CatchUpOutcome out;
+  for (std::size_t round = 1; round <= 64; ++round) {
+    c[0].announce_tip();
+    c.net.run_until_idle();
+    if (c[straggler].tip() == c[0].tip()) {
+      out.rounds = round;
+      break;
+    }
+  }
+  EXPECT_GT(out.rounds, 0u) << "catch-up never completed, seed " << seed;
+  out.tip = c[straggler].tip();
+  out.fingerprint = c[straggler].chain().state().state_fingerprint();
+  out.height = c[straggler].height();
+  out.ticks = c.net.now() - t0;
+  out.delivered = c.net.stats().delivered - delivered0;
+  EXPECT_EQ(out.fingerprint, replay_fingerprint(c[straggler].chain()))
+      << "seed " << seed;
+  return out;
+}
+
+class SyncModeComparison : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SyncModeComparison, HeadersFirstMatchesLegacyChainWithFewerRoundTrips) {
+  const std::uint64_t seed = GetParam();
+  const std::uint64_t depth = 192 + 32 * (seed % 3);  // past the orphan pool
+
+  CatchUpOutcome legacy =
+      run_catch_up(seed, net::SyncMode::kLegacyWalk, depth);
+  CatchUpOutcome hf = run_catch_up(seed, net::SyncMode::kHeadersFirst, depth);
+
+  // Same chain, either way.
+  EXPECT_EQ(hf.height, depth) << "seed " << seed;
+  EXPECT_EQ(hf.tip, legacy.tip) << "seed " << seed;
+  EXPECT_EQ(hf.fingerprint, legacy.fingerprint) << "seed " << seed;
+
+  // But headers-first syncs in one announce round and strictly less
+  // simulated time and traffic.
+  EXPECT_EQ(hf.rounds, 1u) << "seed " << seed;
+  EXPECT_GT(legacy.rounds, hf.rounds) << "seed " << seed;
+  EXPECT_LT(hf.ticks, legacy.ticks) << "seed " << seed;
+  EXPECT_LT(hf.delivered, legacy.delivered) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyncModeComparison,
+                         ::testing::Values(21, 22, 23));
+
 }  // namespace
 }  // namespace zendoo

@@ -829,6 +829,154 @@ TEST_F(MainchainTest, WrongCommitmentRejected) {
   EXPECT_NE(result.error.find("commitment"), std::string::npos);
 }
 
+// ---- Header tree (headers-first sync substrate) ----
+
+TEST_F(MainchainTest, SubmitHeaderClassifiesOutcomes) {
+  miner_.mine_empty(3);
+  const std::uint64_t h = chain_.height();
+
+  // A valid child of the tip extends the header chain ahead of its body.
+  Block next = make_block_on(chain_.tip_hash(), h + 1, alice_.address());
+  auto res = chain_.submit_header(next.header);
+  EXPECT_EQ(res.code, HeaderCode::kAccepted);
+  EXPECT_EQ(chain_.header_height(), h + 1);
+  EXPECT_EQ(chain_.best_header_hash(), next.header.hash());
+  EXPECT_EQ(chain_.height(), h);  // the body is still missing
+
+  // Again: duplicate. A stored block's header is a duplicate too.
+  EXPECT_EQ(chain_.submit_header(next.header).code, HeaderCode::kDuplicate);
+  const Block* tip = chain_.find_block(chain_.tip_hash());
+  EXPECT_EQ(chain_.submit_header(tip->header).code, HeaderCode::kDuplicate);
+
+  // Unknown parent: disconnected, not stored.
+  Block stranger = make_block_on(hash_str(Domain::kGeneric, "elsewhere"),
+                                 h + 5, alice_.address());
+  EXPECT_EQ(chain_.submit_header(stranger.header).code,
+            HeaderCode::kDisconnected);
+  EXPECT_EQ(chain_.find_header(stranger.header.hash()), nullptr);
+
+  // Height must be parent height + 1 even when the parent is known.
+  Block skip = make_block_on(chain_.tip_hash(), h + 3, alice_.address());
+  EXPECT_EQ(chain_.submit_header(skip.header).code, HeaderCode::kInvalid);
+
+  // Unsolved PoW is refused before anything else is considered.
+  Block weak = make_block_on(next.hash(), h + 2, alice_.address());
+  do {
+    ++weak.header.nonce;
+  } while (weak.header.hash().as_u256() < chain_.params().pow_target);
+  EXPECT_EQ(chain_.submit_header(weak.header).code, HeaderCode::kInvalid);
+}
+
+TEST_F(MainchainTest, LocatorIsDenseNearTipThenExponential) {
+  miner_.mine_empty(40);
+  BlockLocator loc = chain_.locator();
+  ASSERT_GE(loc.hashes.size(), 11u);
+  // Dense part: tip and the 9 headers under it, newest first.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(loc.hashes[i], chain_.hash_at_height(40 - i)) << "i=" << i;
+  }
+  // Then exponentially thinning samples, ending at genesis.
+  EXPECT_EQ(loc.hashes.back(), chain_.hash_at_height(0));
+  EXPECT_LT(loc.hashes.size(), 20u);  // far fewer than 41 entries
+}
+
+TEST_F(MainchainTest, HeadersAfterServesFromForkPoint) {
+  miner_.mine_empty(30);
+
+  // A locator naming height 20 (plus genesis) gets headers from 21 on,
+  // capped at `max`.
+  BlockLocator loc;
+  loc.hashes = {chain_.hash_at_height(20), chain_.hash_at_height(0)};
+  auto batch = chain_.headers_after(loc, 5);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(batch[i].hash(), chain_.hash_at_height(21 + i));
+  }
+
+  // Unknown entries (another node's fork) are skipped over.
+  BlockLocator alien;
+  alien.hashes = {hash_str(Domain::kGeneric, "not-ours"),
+                  chain_.hash_at_height(10)};
+  auto after_ten = chain_.headers_after(alien, 100);
+  ASSERT_EQ(after_ten.size(), 20u);
+  EXPECT_EQ(after_ten.front().hash(), chain_.hash_at_height(11));
+
+  // A node that already has our tip gets an empty batch.
+  EXPECT_TRUE(chain_.headers_after(chain_.locator(), 100).empty());
+
+  // An empty locator means "from genesis".
+  EXPECT_EQ(chain_.headers_after(BlockLocator{}, 100).size(), 30u);
+}
+
+TEST_F(MainchainTest, MissingBodiesTrackHeaderChainAheadOfBlocks) {
+  miner_.mine_empty(10);
+
+  // A fresh peer chain learns all 10 headers, has none of the bodies.
+  Blockchain peer{ChainParams{}};
+  std::vector<Block> bodies;
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    bodies.push_back(*chain_.find_block(chain_.hash_at_height(h)));
+    ASSERT_TRUE(peer.submit_header(bodies.back().header).accepted());
+  }
+  EXPECT_EQ(peer.header_height(), 10u);
+  EXPECT_EQ(peer.height(), 0u);
+
+  auto frontier = peer.next_missing_bodies(4);
+  ASSERT_EQ(frontier.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(frontier[i], chain_.hash_at_height(1 + i));
+  }
+
+  // An out-of-order body parks in the orphan pool but counts as present.
+  EXPECT_EQ(peer.submit_block(bodies[2]).code, SubmitCode::kOrphaned);
+  EXPECT_TRUE(peer.has_body(bodies[2].hash()));
+  frontier = peer.next_missing_bodies(4);
+  ASSERT_EQ(frontier.size(), 4u);
+  EXPECT_EQ(frontier[0], bodies[0].hash());
+  EXPECT_EQ(frontier[1], bodies[1].hash());
+  EXPECT_EQ(frontier[2], bodies[3].hash());  // height 3 skipped
+
+  // Connecting height 1 pulls the orphan in; the frontier moves on.
+  EXPECT_EQ(peer.submit_block(bodies[0]).code, SubmitCode::kAccepted);
+  EXPECT_EQ(peer.submit_block(bodies[1]).code, SubmitCode::kAccepted);
+  EXPECT_EQ(peer.height(), 3u);  // orphaned height-3 body auto-connected
+  frontier = peer.next_missing_bodies(4);
+  ASSERT_GE(frontier.size(), 1u);
+  EXPECT_EQ(frontier[0], bodies[3].hash());
+}
+
+TEST_F(MainchainTest, HeaderChainReRootsOntoLongerBranch) {
+  miner_.mine_empty(3);
+  const Digest genesis = chain_.hash_at_height(0);
+
+  // A rival branch from genesis, two blocks longer than ours.
+  std::vector<Block> rival;
+  Digest prev = genesis;
+  for (std::uint64_t h = 1; h <= 5; ++h) {
+    rival.push_back(make_block_on(prev, h, bob_.address(), /*salt=*/h));
+    prev = rival.back().hash();
+  }
+  for (const Block& b : rival) {
+    ASSERT_TRUE(chain_.submit_header(b.header).accepted());
+  }
+
+  // The best-header chain now follows the rival branch...
+  EXPECT_EQ(chain_.header_height(), 5u);
+  EXPECT_EQ(chain_.best_header_hash(), rival.back().hash());
+  for (std::uint64_t h = 1; h <= 5; ++h) {
+    EXPECT_EQ(chain_.header_hash_at(h), rival[h - 1].hash());
+  }
+  // ...while the active chain still holds our original branch.
+  EXPECT_EQ(chain_.height(), 3u);
+  EXPECT_NE(chain_.tip_hash(), rival[2].hash());
+
+  // Feeding the bodies reorgs the active chain onto the rival branch.
+  for (const Block& b : rival) (void)chain_.submit_block(b);
+  EXPECT_EQ(chain_.height(), 5u);
+  EXPECT_EQ(chain_.tip_hash(), rival.back().hash());
+  EXPECT_EQ(chain_.best_header_hash(), chain_.tip_hash());
+}
+
 // ---- Epoch geometry sweep (Fig. 3) ----
 
 struct EpochGeomParam {

@@ -262,6 +262,96 @@ TEST(Codec, EncodingIsDeterministic) {
   EXPECT_EQ(encode_block(b), encode_block(b));
 }
 
+TEST(Codec, LocatorRoundTripAndCaps) {
+  Rng rng(9);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{17},
+                        static_cast<std::size_t>(kMaxLocatorHashes)}) {
+    BlockLocator loc;
+    for (std::size_t i = 0; i < n; ++i) loc.hashes.push_back(rng.next_digest());
+    auto bytes = encode_locator(loc);
+    BlockLocator back = decode_locator(bytes);
+    EXPECT_EQ(back.hashes, loc.hashes) << "n=" << n;
+    EXPECT_EQ(encode_locator(back), bytes) << "n=" << n << ": not canonical";
+  }
+
+  // One hash over the cap: count guard, not allocation failure.
+  Writer w;
+  w.put_u64(kMaxLocatorHashes + 1);
+  EXPECT_THROW((void)decode_locator(w.bytes()), CodecError);
+}
+
+TEST(Codec, LocatorTruncationAndTrailingBytesRejected) {
+  Rng rng(10);
+  BlockLocator loc;
+  for (int i = 0; i < 5; ++i) loc.hashes.push_back(rng.next_digest());
+  auto bytes = encode_locator(loc);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{7}, bytes.size() - 1}) {
+    std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW((void)decode_locator(prefix), CodecError) << "cut=" << cut;
+  }
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_locator(bytes), CodecError);
+}
+
+TEST(Codec, HeaderBatchRoundTrip) {
+  Rng rng(11);
+  std::vector<BlockHeader> headers;
+  for (int i = 0; i < 40; ++i) {
+    BlockHeader h;
+    h.prev_hash = rng.next_digest();
+    h.height = rng.next_below(1000);
+    h.nonce = rng.next_u64();
+    h.tx_merkle_root = rng.next_digest();
+    h.sc_txs_commitment = rng.next_digest();
+    headers.push_back(h);
+  }
+  auto bytes = encode_headers(headers);
+  std::vector<BlockHeader> back = decode_headers(bytes);
+  ASSERT_EQ(back.size(), headers.size());
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    // Header hashes cover every field.
+    EXPECT_EQ(back[i].hash(), headers[i].hash()) << "header " << i;
+  }
+  EXPECT_EQ(encode_headers(back), bytes) << "not canonical";
+  EXPECT_TRUE(decode_headers(encode_headers({})).empty());
+}
+
+TEST(Codec, HeaderBatchHostileCountAndTruncationRejected) {
+  Writer w;
+  w.put_u64(kMaxHeadersPerMsg + 1);
+  EXPECT_THROW((void)decode_headers(w.bytes()), CodecError);
+
+  Rng rng(12);
+  BlockHeader h;
+  h.prev_hash = rng.next_digest();
+  h.tx_merkle_root = rng.next_digest();
+  h.sc_txs_commitment = rng.next_digest();
+  auto bytes = encode_headers({h});
+  std::span<const std::uint8_t> prefix(bytes.data(), bytes.size() - 1);
+  EXPECT_THROW((void)decode_headers(prefix), CodecError);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_headers(bytes), CodecError);
+}
+
+TEST(Codec, InvRoundTripAndCaps) {
+  Rng rng(13);
+  std::vector<Digest> hashes;
+  for (int i = 0; i < 64; ++i) hashes.push_back(rng.next_digest());
+  auto bytes = encode_inv(hashes);
+  EXPECT_EQ(decode_inv(bytes), hashes);
+  EXPECT_EQ(encode_inv(decode_inv(bytes)), bytes) << "not canonical";
+  EXPECT_TRUE(decode_inv(encode_inv({})).empty());
+
+  Writer w;
+  w.put_u64(kMaxInvElements + 1);
+  EXPECT_THROW((void)decode_inv(w.bytes()), CodecError);
+
+  std::span<const std::uint8_t> prefix(bytes.data(), bytes.size() - 1);
+  EXPECT_THROW((void)decode_inv(prefix), CodecError);
+  bytes.push_back(0);
+  EXPECT_THROW((void)decode_inv(bytes), CodecError);
+}
+
 TEST(Codec, BitFlipChangesDecodedIdentity) {
   Rng rng(7);
   Transaction tx = random_tx(rng);

@@ -1,7 +1,8 @@
 // NetNode gossip tests: propagation, out-of-order delivery through the
-// orphan pool + getblock backfill, miner races, and the scenario layer —
-// §5.1 fork resolution driven by actual message schedules instead of
-// hand-fed rival branches.
+// orphan pool, the legacy getblock backfill walk, the headers-first
+// download pipeline (deep catch-up, stalling peers, competing forks),
+// miner races, and the scenario layer — §5.1 fork resolution driven by
+// actual message schedules instead of hand-fed rival branches.
 #include "net/node.hpp"
 
 #include <gtest/gtest.h>
@@ -13,12 +14,11 @@ namespace {
 
 using crypto::Digest;
 using crypto::Domain;
-using crypto::hash_str;
-using crypto::KeyPair;
 
-KeyPair miner_key(std::uint64_t i) {
-  return KeyPair::from_seed(
-      crypto::Hasher(Domain::kGeneric).write_str("net-miner").write_u64(i).finalize());
+SyncConfig legacy_sync() {
+  SyncConfig sync;
+  sync.mode = SyncMode::kLegacyWalk;
+  return sync;
 }
 
 /// From-genesis replay oracle: rebuilds the node's advertised active
@@ -39,26 +39,26 @@ Digest replay_fingerprint(const mainchain::Blockchain& chain) {
   return reference.state_fingerprint();
 }
 
-struct Cluster {
-  SimNet net;
-  std::vector<std::unique_ptr<NetNode>> nodes;
-
-  explicit Cluster(std::uint64_t seed, std::size_t n) : net(seed) {
-    for (std::size_t i = 0; i < n; ++i) {
-      nodes.push_back(std::make_unique<NetNode>(
-          net, mainchain::ChainParams{}, miner_key(i)));
+/// Repeated announce/drain rounds until every node reaches `target`'s
+/// tip — how deep catch-up progresses when one sync round cannot cover
+/// the whole gap (the legacy walk is bounded by the orphan pool).
+/// Returns the number of rounds used, or `max_rounds + 1` on failure.
+std::size_t announce_until_synced(NodeCluster& c, std::size_t target,
+                                  std::size_t max_rounds = 64) {
+  for (std::size_t round = 1; round <= max_rounds; ++round) {
+    c[target].announce_tip();
+    c.net.run_until_idle();
+    bool all = true;
+    for (auto& node : c.nodes) {
+      if (node->tip() != c[target].tip()) all = false;
     }
+    if (all) return round;
   }
-  NetNode& operator[](std::size_t i) { return *nodes[i]; }
-  std::vector<NetNode*> ptrs() {
-    std::vector<NetNode*> out;
-    for (auto& n : nodes) out.push_back(n.get());
-    return out;
-  }
-};
+  return max_rounds + 1;
+}
 
 TEST(NetNode, MinedBlockPropagatesToAllPeers) {
-  Cluster c(1, 4);
+  NodeCluster c(1, 4);
   c[0].mine();
   c.net.run_until_idle();
   for (std::size_t i = 0; i < 4; ++i) {
@@ -67,10 +67,15 @@ TEST(NetNode, MinedBlockPropagatesToAllPeers) {
   }
   // Peers saw it once and relayed; further copies were duplicates.
   EXPECT_GE(c[1].stats().blocks_received, 1u);
+  // Per-type accounting: the miner sent one kBlock per peer, the peers
+  // received kBlock traffic (original plus relays) and nothing else.
+  EXPECT_EQ(c[0].stats().sent(MsgType::kBlock), 3u);
+  EXPECT_GE(c[1].stats().received(MsgType::kBlock), 1u);
+  EXPECT_EQ(c[1].stats().received(MsgType::kGetHeaders), 0u);
 }
 
 TEST(NetNode, OutOfOrderBlockBackfilledViaGetBlock) {
-  Cluster c(2, 2);
+  NodeCluster c(2, 2, legacy_sync());
   // Node 1 misses the first block entirely (partitioned), then receives
   // the second — whose parent it lacks — after the heal.
   c.net.partition({{0}, {1}});
@@ -90,7 +95,7 @@ TEST(NetNode, OutOfOrderBlockBackfilledViaGetBlock) {
 }
 
 TEST(NetNode, LongerBranchWinsTheRace) {
-  Cluster c(3, 2);
+  NodeCluster c(3, 2);
   c.net.partition({{0}, {1}});
   c[0].mine();
   c[1].mine();
@@ -111,7 +116,7 @@ TEST(NetNode, LongerBranchWinsTheRace) {
 }
 
 TEST(NetNode, EqualLengthTieHoldsUntilTieBreakBlock) {
-  Cluster c(4, 2);
+  NodeCluster c(4, 2);
   c.net.partition({{0}, {1}});
   c[0].mine();
   c[1].mine();
@@ -131,7 +136,7 @@ TEST(NetNode, EqualLengthTieHoldsUntilTieBreakBlock) {
 }
 
 TEST(NetNode, LostBackfillRequestRecoversOnRedelivery) {
-  Cluster c(9, 2);
+  NodeCluster c(9, 2, legacy_sync());
   // Node 1 misses two blocks, then receives the tip after a heal...
   c.net.partition({{0}, {1}});
   c[0].mine();
@@ -158,17 +163,193 @@ TEST(NetNode, LostBackfillRequestRecoversOnRedelivery) {
 }
 
 TEST(NetNode, MalformedPayloadCountedNotFatal) {
-  Cluster c(5, 2);
+  NodeCluster c(5, 2);
   c.net.send(0, 1, {static_cast<std::uint8_t>(MsgType::kBlock), 0xde, 0xad});
   c.net.send(0, 1, std::vector<std::uint8_t>{});
   c.net.send(0, 1, {0x77});  // unknown message type
+  c.net.send(0, 1, {static_cast<std::uint8_t>(MsgType::kGetHeaders), 0xff});
   c.net.run_until_idle();
-  EXPECT_EQ(c[1].stats().invalid, 3u);
+  EXPECT_EQ(c[1].stats().malformed, 4u);
+  EXPECT_EQ(c[1].stats().rejected, 0u);
   EXPECT_EQ(c[1].height(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Headers-first sync
+// ---------------------------------------------------------------------
+
+TEST(HeadersFirst, DeepBehindNodeSyncsInOneAnnounceRound) {
+  // Node 4 misses 300 blocks — beyond both the orphan pool (64) and the
+  // orphan height window (256) — then catches up through the pipeline.
+  NodeCluster c(21, 5);
+  c.net.partition({{0, 1, 2, 3}, {4}});
+  for (int i = 0; i < 300; ++i) c[0].mine();
+  c.net.run_until_idle();
+  ASSERT_EQ(c[3].height(), 300u);
+  ASSERT_EQ(c[4].height(), 0u);
+
+  c.net.heal();
+  std::size_t rounds = announce_until_synced(c, 0);
+  EXPECT_EQ(c[4].height(), 300u);
+  EXPECT_EQ(c[4].tip(), c[0].tip());
+  // One announcement was enough: the headers chain told node 4 the whole
+  // branch shape, and the scheduler pulled every body.
+  EXPECT_EQ(rounds, 1u);
+
+  const auto& stats = c[4].stats();
+  EXPECT_GE(stats.headers_connected, 300u);
+  EXPECT_GE(stats.blocks_downloaded, 299u);
+  // The download load was spread across several peers, not one.
+  std::size_t serving_peers = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (c[i].stats().get_data_served > 0) ++serving_peers;
+  }
+  EXPECT_GE(serving_peers, 2u);
+  EXPECT_EQ(c[4].blocks_in_flight(), 0u);
+  EXPECT_EQ(c[4].chain().state().state_fingerprint(),
+            replay_fingerprint(c[4].chain()));
+}
+
+TEST(HeadersFirst, LegacyWalkNeedsManyAnnounceRoundsForSameDepth) {
+  // Contrast case for the test above: the same 300-block gap under the
+  // legacy walk takes multiple announce rounds, because each round can
+  // only backfill as much as the orphan pool holds.
+  NodeCluster c(21, 5, legacy_sync());
+  c.net.partition({{0, 1, 2, 3}, {4}});
+  for (int i = 0; i < 300; ++i) c[0].mine();
+  c.net.run_until_idle();
+  c.net.heal();
+  std::size_t rounds = announce_until_synced(c, 0);
+  EXPECT_EQ(c[4].height(), 300u);
+  EXPECT_GT(rounds, 1u);
+}
+
+TEST(HeadersFirst, StalledDownloadReRequestsFromAnotherPeer) {
+  NodeCluster c(23, 3);
+  c.net.partition({{0, 1}, {2}});
+  for (int i = 0; i < 60; ++i) c[0].mine();
+  c.net.run_until_idle();
+  ASSERT_EQ(c[1].height(), 60u);
+
+  // Node 2 can only really talk to node 1: every message on the 0<->2
+  // link is dropped, so all requests routed to node 0 stall out.
+  c.net.heal();
+  LinkParams dead;
+  dead.drop_num = 1;
+  dead.drop_den = 1;
+  c.net.set_link(0, 2, dead);
+
+  std::size_t rounds = announce_until_synced(c, 1, 8);
+  EXPECT_EQ(c[2].height(), 60u);
+  EXPECT_EQ(c[2].tip(), c[1].tip());
+  EXPECT_LE(rounds, 8u);
+  // The stall timer fired and moved the dead peer's requests elsewhere.
+  EXPECT_GE(c[2].stats().stalled_rerequests, 1u);
+  EXPECT_GE(c[1].stats().get_data_served, 59u);
+  EXPECT_EQ(c[0].stats().get_data_served, 0u);
+}
+
+TEST(HeadersFirst, NotFoundBouncesRequestsWithoutWaitingForStallTimer) {
+  // Node 0 is reachable but has nothing (it never saw the chain), so
+  // half of node 2's round-robin requests land on a peer that answers
+  // kNotFound. The bounce must redirect them to node 1 immediately —
+  // completing the sync in far less than one stall timeout.
+  NodeCluster c(41, 3);
+  c.net.partition({{1}, {0, 2}});
+  for (int i = 0; i < 24; ++i) c[1].mine();
+  c.net.run_until_idle();
+  ASSERT_EQ(c[0].height(), 0u);
+  ASSERT_EQ(c[2].height(), 0u);
+
+  c.net.heal();
+  const SimTime t0 = c.net.now();
+  c[1].announce_tip();
+  // Everything must be done before the first stall deadline would hit —
+  // the bounce, not the timer, moved the requests.
+  c.net.run_until(t0 + c[2].sync_config().stall_timeout - 1);
+  EXPECT_EQ(c[2].height(), 24u);
+  EXPECT_EQ(c[2].tip(), c[1].tip());
+  EXPECT_GE(c[2].stats().received(MsgType::kNotFound), 1u);
+  EXPECT_GE(c[2].stats().stalled_rerequests, 1u);
+  c.net.run_until_idle();  // drain the armed timer; nothing re-fires
+  EXPECT_EQ(c[2].blocks_in_flight(), 0u);
+}
+
+TEST(HeadersFirst, CompetingForksFromDifferentPeersResolveToLongest) {
+  NodeCluster c(29, 3);
+  // Peer 0 mines branch A (3 blocks), peer 1 branch B (5 blocks), while
+  // node 2 sees neither.
+  c.net.partition({{0}, {1}, {2}});
+  for (int i = 0; i < 3; ++i) c[0].mine();
+  for (int i = 0; i < 5; ++i) c[1].mine();
+  c.net.run_until_idle();
+  ASSERT_NE(c[0].tip(), c[1].tip());
+
+  // Both branches are announced at once; node 2 header-syncs against
+  // whichever peer it hears from and must still end on the longer one.
+  c.net.heal();
+  c[0].announce_tip();
+  c[1].announce_tip();
+  c.net.run_until_idle();
+  c[0].announce_tip();
+  c[1].announce_tip();
+  c.net.run_until_idle();
+
+  EXPECT_EQ(c[2].height(), 5u);
+  EXPECT_EQ(c[2].tip(), c[1].tip());
+  EXPECT_EQ(c[2].chain().state().state_fingerprint(),
+            replay_fingerprint(c[2].chain()));
+  // The header chain re-rooted onto branch B as well.
+  EXPECT_EQ(c[2].chain().best_header_hash(), c[1].tip());
+}
+
+TEST(HeadersFirst, DeepSyncUnderDeferredParallelValidation) {
+  // The same pipeline with the batch verifier fanned out across worker
+  // threads — the sync-heavy scenario the TSan CI job runs.
+  mainchain::ChainParams params;
+  params.validation.policy = parallel::CheckPolicy::kDeferred;
+  params.validation.worker_threads = 2;
+  NodeCluster c(31, 4, SyncConfig{}, params);
+  c.net.partition({{0, 1, 2}, {3}});
+  for (int i = 0; i < 128; ++i) c[0].mine();
+  c.net.run_until_idle();
+  c.net.heal();
+  std::size_t rounds = announce_until_synced(c, 0);
+  EXPECT_EQ(rounds, 1u);
+  EXPECT_EQ(c[3].height(), 128u);
+  EXPECT_EQ(c[3].chain().state().state_fingerprint(),
+            c[0].chain().state().state_fingerprint());
+}
+
+TEST(HeadersFirst, ServesHeadersAndDataToLegacyPeersToo) {
+  // Serving is mode-independent: a legacy-walk node still answers
+  // kGetHeaders/kGetData, so mixed clusters interoperate.
+  SimNet net(37);
+  mainchain::ChainParams params;
+  auto key = [](std::uint64_t i) {
+    return crypto::KeyPair::from_seed(crypto::Hasher(Domain::kGeneric)
+                                          .write_str("mixed-miner")
+                                          .write_u64(i)
+                                          .finalize());
+  };
+  NetNode legacy(net, params, key(0), legacy_sync());
+  NetNode modern(net, params, key(1));
+  net.partition({{0}, {1}});
+  for (int i = 0; i < 40; ++i) legacy.mine();
+  net.run_until_idle();
+  net.heal();
+  for (int round = 0; round < 4 && modern.tip() != legacy.tip(); ++round) {
+    legacy.announce_tip();
+    net.run_until_idle();
+  }
+  EXPECT_EQ(modern.height(), 40u);
+  EXPECT_EQ(modern.tip(), legacy.tip());
+  EXPECT_GE(legacy.stats().get_headers_served, 1u);
+  EXPECT_GE(legacy.stats().get_data_served, 1u);
+}
+
 TEST(Scenario, ScriptedPartitionRaceConverges) {
-  Cluster c(6, 4);
+  NodeCluster c(6, 4);
   ScenarioRunner runner(c.net, c.ptrs());
   runner.run({
       {5, ScenarioEvent::Partition{{{0, 1}, {2, 3}}}},
@@ -191,7 +372,7 @@ TEST(Scenario, ScriptedPartitionRaceConverges) {
 
 TEST(Scenario, SameSeedReproducesTraceAndTip) {
   auto run = [](std::uint64_t seed) {
-    auto cluster = std::make_unique<Cluster>(seed, 4);
+    auto cluster = std::make_unique<NodeCluster>(seed, 4);
     crypto::Rng rng(seed);
     ScenarioRunner runner(cluster->net, cluster->ptrs());
     runner.run(make_random_race(rng, 4, 2, 2));

@@ -134,5 +134,74 @@ TEST(SimNet, RunUntilAdvancesClockPastIdle) {
   EXPECT_EQ(net.now(), 100u);
 }
 
+TEST(SimNet, TimersFireAtDeadlineInterleavedWithMessages) {
+  SimNet net(19);
+  Sink sink;
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId b = net.add_node(sink.handler());
+  net.set_timer_handler(b, [&](std::uint64_t token) {
+    fired.emplace_back(net.now(), token);
+  });
+  net.set_default_link({5, 5, 0, 1});
+  net.send(a, b, {1});      // delivered at t=5
+  net.set_timer(b, 3, 42);  // fires at t=3, before the message
+  net.set_timer(b, 9, 43);  // fires at t=9, after it
+  net.run_until_idle();
+
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<SimTime, std::uint64_t>{3, 42}));
+  EXPECT_EQ(fired[1], (std::pair<SimTime, std::uint64_t>{9, 43}));
+  ASSERT_EQ(sink.got.size(), 1u);
+  EXPECT_EQ(net.stats().timers_set, 2u);
+  EXPECT_EQ(net.stats().timers_fired, 2u);
+  // Timers are node-local events: they never enter the delivery trace.
+  EXPECT_EQ(net.trace().size(), 1u);
+}
+
+TEST(SimNet, TimersSurvivePartitionsAndDropModel) {
+  SimNet net(23);
+  int fired = 0;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.set_timer_handler(a, [&](std::uint64_t) { ++fired; });
+  net.set_default_link({1, 1, 1, 1});  // 100% loss
+  net.partition({{0}, {1}});           // and a is cut off entirely
+  net.set_timer(a, 4);
+  net.send(a, 1, {1});
+  net.run_until_idle();
+  EXPECT_EQ(fired, 1);  // the timer is immune to both loss mechanisms
+  EXPECT_EQ(net.stats().delivered, 0u);
+}
+
+TEST(SimNet, LinkStatsCountPerDirectedLink) {
+  SimNet net(27);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId b = net.add_node(sink.handler());
+  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+
+  net.send(a, b, {1});
+  net.send(a, b, {2});
+  net.send(b, a, {3});
+  net.run_until_idle();
+  net.partition({{0}, {1, 2}});
+  net.send(a, b, {4});  // dies on the cut
+  net.run_until_idle();
+
+  SimNet::LinkStats ab = net.link_stats(a, b);
+  EXPECT_EQ(ab.queued, 3u);
+  EXPECT_EQ(ab.delivered, 2u);
+  EXPECT_EQ(ab.partitioned, 1u);
+  EXPECT_EQ(ab.dropped, 0u);
+  // The reverse direction is tracked separately…
+  EXPECT_EQ(net.link_stats(b, a).delivered, 1u);
+  // …and an unused link reads as zeroes.
+  EXPECT_EQ(net.link_stats(a, 2).queued, 0u);
+  // Per-link tallies are consistent with the global ones.
+  EXPECT_EQ(net.stats().delivered, 3u);
+  EXPECT_EQ(net.stats().partitioned, 1u);
+}
+
 }  // namespace
 }  // namespace zendoo::net
