@@ -113,6 +113,74 @@ BENCHMARK(BM_DeepCatchUp)
     ->Args({1, 512})
     ->Iterations(3);
 
+void BM_HostilePeerOverhead(benchmark::State& state) {
+  // The same deep catch-up as BM_DeepCatchUp (headers-first, 4 honest
+  // peers) with an orphan-spamming attacker riding along when range(0)
+  // is set. The counters price the DoS layer: how much extra simulated
+  // time and traffic the flood costs before the scorer bans it, and how
+  // many junk blocks ever occupied the bounded pool. The no-attacker
+  // row is the control — its delta against BM_DeepCatchUp is the cost
+  // of the scoring bookkeeping itself on clean traffic.
+  const bool hostile = state.range(0) != 0;
+  const std::size_t depth = static_cast<std::size_t>(state.range(1));
+  std::uint64_t ticks = 0, delivered = 0, banned_msgs = 0, iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(5);
+    auto spammer = hostile ? std::make_unique<net::OrphanSpammer>(
+                                 cluster.simnet, mainchain::ChainParams{})
+                           : nullptr;
+    cluster.simnet.partition({{0, 1, 2, 3}, {4}});
+    for (std::size_t i = 0; i < depth; ++i) cluster.nodes[0]->mine();
+    cluster.simnet.run_until_idle();
+    cluster.simnet.heal();
+    const net::SimTime t0 = cluster.simnet.now();
+    const std::uint64_t d0 = cluster.simnet.stats().delivered;
+    state.ResumeTiming();
+    if (spammer) {
+      // Flood the rejoining node mid-catch-up: junk orphans compete
+      // with honest bodies for the pool until the sweep bans the spammer.
+      spammer->spam(4, 2 * mainchain::ChainParams{}.max_orphan_blocks);
+    }
+    std::size_t round = 0;
+    while (cluster.nodes[4]->tip() != cluster.nodes[0]->tip()) {
+      if (++round > 64) break;
+      cluster.nodes[0]->announce_tip();
+      cluster.simnet.run_until_idle();
+    }
+    // Age and judge every orphan suspect so the ban cost is included.
+    cluster.simnet.run_until(
+        cluster.simnet.now() +
+        2 * cluster.nodes[4]->sync_config().dos.orphan_suspect_grace);
+    cluster.simnet.run_until_idle();
+    if (spammer) {
+      // A post-judgment probe flood: with the ban in place these are
+      // refused at delivery, which is what msgs_refused_banned prices.
+      spammer->spam(4, 16);
+      cluster.simnet.run_until_idle();
+    }
+    benchmark::DoNotOptimize(cluster.nodes[4]->tip());
+    state.PauseTiming();
+    ticks += cluster.simnet.now() - t0;
+    delivered += cluster.simnet.stats().delivered - d0;
+    banned_msgs += cluster.simnet.stats().banned;
+    ++iters;
+    state.ResumeTiming();
+  }
+  state.counters["sim_ticks"] =
+      benchmark::Counter(static_cast<double>(ticks) / iters);
+  state.counters["msgs_delivered"] =
+      benchmark::Counter(static_cast<double>(delivered) / iters);
+  state.counters["msgs_refused_banned"] =
+      benchmark::Counter(static_cast<double>(banned_msgs) / iters);
+  state.SetLabel(std::string(hostile ? "orphan-spammer" : "no-attacker") +
+                 " depth=" + std::to_string(depth) + " peers=4");
+}
+BENCHMARK(BM_HostilePeerOverhead)
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Iterations(3);
+
 }  // namespace
 
 ZENDOO_BENCH_MAIN("net");

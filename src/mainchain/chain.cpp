@@ -251,10 +251,13 @@ Block make_genesis_block() {
   return genesis;
 }
 
-Blockchain::SubmitResult invalid_result(std::string error) {
+/// `dos` is the suggested misbehavior penalty for the relaying peer —
+/// zero when the rejection is local policy rather than peer fault.
+Blockchain::SubmitResult invalid_result(std::string error, int dos = 0) {
   Blockchain::SubmitResult r;
   r.code = SubmitCode::kInvalid;
   r.error = std::move(error);
+  r.dos = dos;
   return r;
 }
 
@@ -344,19 +347,25 @@ HeaderResult Blockchain::submit_header(const BlockHeader& header) {
   // Same parent-free checks a body must pass: header spam costs PoW.
   if (!(hash.as_u256() < params_.pow_target)) {
     result.error = "insufficient proof of work";
+    result.dos = 100;
     return result;
   }
   if (header.height == 0 || header.prev_hash.is_zero()) {
     result.error = "only one genesis block";
+    result.dos = 100;
     return result;
   }
   const BlockHeader* parent = find_header(header.prev_hash);
   if (parent == nullptr) {
+    // Headers arrive fork-point-first from honest serving peers, so a
+    // disconnected header is a protocol violation, not a race.
     result.code = HeaderCode::kDisconnected;
+    result.dos = 20;
     return result;
   }
   if (header.height != parent->height + 1) {
     result.error = "header height does not follow parent";
+    result.dos = 100;
     return result;
   }
   headers_.emplace(hash, header);
@@ -492,7 +501,9 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
         }
         push_undo(std::move(redo));
       }
-      return invalid_result("reorg candidate invalid: " + err);
+      // The branch tip's relayer fed us a branch containing an invalid
+      // block; an honest peer validates before relaying.
+      return invalid_result("reorg candidate invalid: " + err, 50);
     }
     push_undo(std::move(undo));
   }
@@ -508,14 +519,14 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
 Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
   Digest hash = block.hash();
   if (block.header.height != heights_.at(block.header.prev_hash) + 1) {
-    return invalid_result("block height does not follow parent");
+    return invalid_result("block height does not follow parent", 100);
   }
 
   if (block.header.prev_hash == state_.tip_hash()) {
     // Fast path: extends the active tip.
     BlockUndo undo;
     if (std::string err = state_.connect_block(block, &undo); !err.empty()) {
-      return invalid_result(err);
+      return invalid_result(err, 50);
     }
     push_undo(std::move(undo));
     heights_[hash] = block.header.height;
@@ -636,13 +647,13 @@ Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   // Checks that need no parent context — an orphan must pass these too,
   // so a spammer cannot fill the pool with free (PoW-less) blocks.
   if (!(block.hash().as_u256() < params_.pow_target)) {
-    return invalid_result("insufficient proof of work");
+    return invalid_result("insufficient proof of work", 100);
   }
   if (block.header.height == 0 || block.header.prev_hash.is_zero()) {
-    return invalid_result("only one genesis block");
+    return invalid_result("only one genesis block", 100);
   }
   if (block.header.tx_merkle_root != block.compute_tx_merkle_root()) {
-    return invalid_result("tx merkle root mismatch");
+    return invalid_result("tx merkle root mismatch", 100);
   }
 
   if (!heights_.contains(block.header.prev_hash)) {

@@ -144,6 +144,11 @@ enum class HeaderCode {
 struct HeaderResult {
   HeaderCode code = HeaderCode::kInvalid;
   std::string error;  ///< non-empty iff code == kInvalid
+  /// Suggested misbehavior penalty for the peer that relayed this header
+  /// (zen's nDoS): non-zero only for outcomes no honest peer produces —
+  /// PoW-invalid or malformed headers, out-of-order (disconnected)
+  /// batches. The network layer decides whether and how to apply it.
+  int dos = 0;
   [[nodiscard]] bool accepted() const { return code == HeaderCode::kAccepted; }
 };
 
@@ -160,6 +165,10 @@ class Blockchain {
     }
     bool reorged = false;    ///< fork choice switched branches
     std::string error;       ///< non-empty iff code == kInvalid
+    /// Suggested misbehavior penalty for the relaying peer (zen's nDoS).
+    /// Zero for rejections that are local policy rather than peer fault
+    /// (e.g. a reorg deeper than max_reorg_depth).
+    int dos = 0;
     std::uint64_t disconnected = 0;  ///< blocks rolled back by a reorg
     std::uint64_t connected = 0;     ///< blocks applied (1 on the fast path)
     /// Buffered orphans adopted into the tree because this block (or a

@@ -10,6 +10,15 @@ namespace zendoo::net {
 using mainchain::HeaderCode;
 using mainchain::SubmitCode;
 
+namespace {
+
+/// Cap on remembered legacy-walk requests: the honest walk keeps one or
+/// two outstanding, so the cap only matters if a bug (or a hostile reply
+/// stream) tries to grow the set without answers arriving.
+constexpr std::size_t kMaxLegacyRequested = 256;
+
+}  // namespace
+
 NetNode::NetNode(SimNet& net, mainchain::ChainParams params,
                  const crypto::KeyPair& miner_key, SyncConfig sync)
     : net_(net), engine_(params, miner_key), sync_(sync) {
@@ -46,6 +55,8 @@ mainchain::Block NetNode::mine() {
   return block;
 }
 
+mainchain::Block NetNode::mine_withheld() { return engine_.step(); }
+
 void NetNode::announce_tip() {
   if (height() == 0) return;  // nothing beyond the shared genesis
   const mainchain::Block* tip_block = chain().find_block(tip());
@@ -68,13 +79,142 @@ void NetNode::relay_block(NodeId origin, std::vector<std::uint8_t> wire) {
 }
 
 void NetNode::request_block(NodeId from, const crypto::Digest& hash) {
+  // Remember the ask: the kBlock answer is solicited even though the
+  // headers-first in_flight_ table never sees legacy-walk traffic.
+  if (legacy_requested_.size() < kMaxLegacyRequested) {
+    legacy_requested_.insert(hash);
+  }
   send_msg(from, MsgType::kGetBlock,
            {hash.bytes.begin(), hash.bytes.end()});
 }
 
+// ---- Misbehavior scoring ----
+
+PeerState& NetNode::peer_ref(NodeId peer) {
+  if (peers_.size() <= peer) peers_.resize(peer + 1);
+  return peers_[peer];
+}
+
+const PeerState& NetNode::peer_state(NodeId peer) const {
+  static const PeerState kNeverHeardFrom{};
+  return peer < peers_.size() ? peers_[peer] : kNeverHeardFrom;
+}
+
+bool NetNode::peer_banned(NodeId peer) {
+  if (peer >= peers_.size()) return false;
+  PeerState& st = peers_[peer];
+  if (st.banned && net_.now() >= st.banned_until) {
+    st.banned = false;
+    st.score = 0;  // served the ban; start from a clean slate
+  }
+  return st.banned;
+}
+
+std::size_t NetNode::banned_peer_count() const {
+  std::size_t n = 0;
+  for (const auto& st : peers_) {
+    if (st.banned && net_.now() < st.banned_until) ++n;
+  }
+  return n;
+}
+
+void NetNode::note_malformed(NodeId from) {
+  ++stats_.malformed;
+  ++peer_ref(from).malformed;
+  misbehave(from, sync_.dos.malformed_penalty);
+}
+
+void NetNode::note_unsolicited_orphan(NodeId from,
+                                      const crypto::Digest& hash) {
+  ++peer_ref(from).unsolicited_orphans;
+  if (!sync_.dos.enabled) return;
+  // The legacy walk has no header tree, so it cannot tell a fabricated
+  // orphan from a deep honest gap — its only defense is the bounded
+  // pool itself. Only headers-first nodes can judge, so only they file.
+  if (sync_.mode != SyncMode::kHeadersFirst) return;
+  if (orphan_suspects_.size() >= sync_.dos.max_orphan_suspects) {
+    orphan_suspects_.pop_front();  // overflow: oldest goes unjudged
+  }
+  orphan_suspects_.push_back({hash, from, net_.now()});
+  // The judgment must happen even if the network goes quiet afterwards.
+  arm_stall_timer(net_.now() + sync_.dos.orphan_suspect_grace);
+}
+
+void NetNode::sweep_orphan_suspects() {
+  const SimTime now = net_.now();
+  while (!orphan_suspects_.empty() &&
+         now >= orphan_suspects_.front().seen_at +
+                    sync_.dos.orphan_suspect_grace) {
+    const OrphanSuspect s = orphan_suspects_.front();
+    orphan_suspects_.pop_front();
+    // Old enough for header sync to have mapped its ancestry. A known
+    // header means the block was real — even if its body was evicted
+    // from the pool during a catch-up storm before it could connect —
+    // and still-pool-resident suspects keep the benefit of the doubt.
+    // A header that never connected anywhere is fabricated ancestry,
+    // and only a flood of those past the free budget scores (an honest
+    // loser-branch tip can die unknown now and then).
+    if (chain().find_header(s.hash) != nullptr ||
+        chain().has_orphan(s.hash)) {
+      continue;
+    }
+    PeerState& st = peer_ref(s.peer);
+    ++st.junk_orphans;
+    if (st.junk_orphans > sync_.dos.orphan_budget) {
+      misbehave(s.peer, sync_.dos.orphan_flood_penalty);
+    }
+  }
+}
+
+void NetNode::misbehave(NodeId peer, int penalty) {
+  if (!sync_.dos.enabled || penalty <= 0) return;
+  PeerState& st = peer_ref(peer);
+  ++stats_.dos_events;
+  st.score += penalty;
+  if (!st.banned && st.score >= sync_.dos.ban_threshold) ban_peer(peer);
+}
+
+void NetNode::ban_peer(NodeId peer) {
+  PeerState& st = peer_ref(peer);
+  st.banned = true;
+  st.banned_until = net_.now() + sync_.dos.ban_duration;
+  ++st.bans;
+  ++stats_.peers_banned;
+  net_.set_ban(id_, peer, st.banned_until);
+
+  // Strand nothing on the dead connection: every download slot the peer
+  // owns moves elsewhere right away instead of waiting out a stall.
+  std::vector<crypto::Digest> owned;
+  for (const auto& [hash, inf] : in_flight_) {
+    if (inf.peer == peer) owned.push_back(hash);
+  }
+  std::sort(owned.begin(), owned.end());  // deterministic re-issue order
+  std::map<NodeId, std::vector<crypto::Digest>> batches;
+  for (const auto& hash : owned) reassign_download(hash, peer, batches);
+  for (const auto& [to, hashes] : batches) {
+    send_msg(to, MsgType::kGetData, mainchain::codec::encode_inv(hashes));
+  }
+  if (!batches.empty()) arm_stall_timer(net_.now() + sync_.stall_timeout);
+
+  // An active header round against the banned peer will never be
+  // answered; move it to an eligible peer.
+  if (headers_request_active_ && headers_peer_ == peer) {
+    headers_request_active_ = false;
+    if (auto next = pick_header_peer(std::nullopt)) request_headers(*next);
+  }
+}
+
 void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
+  // Judge due orphan suspects on every delivery so charges land promptly
+  // under load (the stall timer is the quiet-network fallback) — and
+  // before the ban check, so a flooder's own next message can be the one
+  // that gets it banned.
+  sweep_orphan_suspects();
+  // SimNet refuses banned traffic at delivery time; this guard covers
+  // tests driving the handler directly and same-tick races around a ban.
+  if (peer_banned(from)) return;
   if (payload.empty()) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
   auto body = payload.subspan(1);
@@ -87,9 +227,10 @@ void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
     case MsgType::kGetData:
     case MsgType::kNotFound:
       ++stats_.msgs_received[static_cast<std::size_t>(tag)];
+      ++peer_ref(from).received[static_cast<std::size_t>(tag)];
       break;
     default:
-      ++stats_.malformed;
+      note_malformed(from);
       return;
   }
   switch (tag) {
@@ -107,7 +248,7 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
   try {
     block = mainchain::codec::decode_block(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
 
@@ -123,12 +264,14 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
     }
     in_flight_.erase(it);
   }
+  if (legacy_requested_.erase(hash) > 0) requested = true;
 
   auto result = engine_.submit_external_block(block);
   if (result.reorged) ++stats_.reorgs;
   switch (result.code) {
     case SubmitCode::kAccepted:
       ++stats_.blocks_received;
+      frontier_attempts_ = 0;  // progress: the retry pump starts fresh
       // Flood unsolicited news onward; solicited downloads are catch-up
       // traffic the rest of the network already has, so re-flooding them
       // would only multiply duplicates.
@@ -142,6 +285,13 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
       return;
     case SubmitCode::kOrphaned:
       ++stats_.orphans_buffered;
+      if (!requested) {
+        // Unsolicited parent-less blocks churn the orphan pool. Honest
+        // catch-up bursts deliver plenty, so arrival never scores: the
+        // suspect table charges retrospectively, once a suspect is old
+        // enough to have connected and nothing knows it anymore.
+        note_unsolicited_orphan(from, hash);
+      }
       if (sync_.mode == SyncMode::kHeadersFirst) {
         on_disconnected_block(from, block.header.prev_hash);
       } else {
@@ -166,6 +316,16 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
       return;
     case SubmitCode::kInvalid:
       ++stats_.rejected;
+      ++peer_ref(from).rejected;
+      // The validation layer suggests the penalty (zen's nDoS): full
+      // weight for outcomes no honest peer relays (bad PoW, bad merkle
+      // root), zero for local policy such as max_reorg_depth.
+      misbehave(from, result.dos);
+      // The freed slot must not idle while other peers can serve the
+      // branch (the ban path above already reassigned if it fired).
+      if (requested && sync_.mode == SyncMode::kHeadersFirst) {
+        schedule_downloads();
+      }
       return;
   }
 }
@@ -179,7 +339,9 @@ void NetNode::on_disconnected_block(NodeId from,
   } else {
     // Ancestry known — the body is (or will be) on the download
     // frontier; keep the pipeline full. This also re-arms downloads the
-    // stall logic gave up on during a blackout.
+    // stall logic gave up on during a blackout, so the retry pump gets
+    // its budget back too.
+    frontier_attempts_ = 0;
     schedule_downloads();
   }
 }
@@ -187,7 +349,7 @@ void NetNode::on_disconnected_block(NodeId from,
 void NetNode::on_get_block(NodeId from,
                            std::span<const std::uint8_t> body) {
   if (body.size() != crypto::Digest{}.bytes.size()) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
   crypto::Digest hash;
@@ -205,7 +367,7 @@ void NetNode::on_get_headers(NodeId from,
   try {
     loc = mainchain::codec::decode_locator(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
   ++stats_.get_headers_served;
@@ -221,11 +383,33 @@ void NetNode::on_headers(NodeId from, std::span<const std::uint8_t> body) {
   try {
     headers = mainchain::codec::decode_headers(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
-  headers_request_active_ = false;
-  headers_attempts_ = 0;
+  // Only the peer that owns the round may close it: a stale batch from an
+  // abandoned round (or an unsolicited one) clearing the live round's
+  // state would leave the stall timer nothing to retry — the classic
+  // wedge this check exists for.
+  const bool solicited = headers_request_active_ && headers_peer_ == from;
+  if (solicited) {
+    headers_request_active_ = false;
+    headers_attempts_ = 0;
+  } else {
+    // Late replies to rounds the stall timer abandoned are honest, hence
+    // the free budget; only a flood past it scores.
+    PeerState& st = peer_ref(from);
+    ++st.unsolicited_headers;
+    if (st.unsolicited_headers > sync_.dos.unsolicited_headers_budget) {
+      misbehave(from, sync_.dos.unsolicited_headers_penalty);
+    }
+  }
+  if (headers.size() > sync_.headers_batch) {
+    // Bigger than anything we would request or serve — refuse the batch
+    // outright instead of grinding PoW checks on hostile volume.
+    ++peer_ref(from).oversized;
+    misbehave(from, sync_.dos.oversized_penalty);
+    return;
+  }
   stats_.headers_received += headers.size();
   bool extended = false;
   for (const auto& h : headers) {
@@ -233,15 +417,30 @@ void NetNode::on_headers(NodeId from, std::span<const std::uint8_t> body) {
     if (res.accepted()) {
       ++stats_.headers_connected;
       extended = true;
-    } else if (res.code == HeaderCode::kInvalid) {
+      frontier_attempts_ = 0;  // new frontier: the retry pump starts fresh
+    } else if (res.code == HeaderCode::kInvalid ||
+               res.code == HeaderCode::kDisconnected) {
       ++stats_.rejected;
+      ++peer_ref(from).rejected;
+      misbehave(from, res.dos);
+      // Once the sender is banned the rest of the batch is noise; stop
+      // burning PoW checks on it.
+      if (peer_banned(from)) break;
     }
   }
   if (sync_.mode == SyncMode::kHeadersFirst) {
-    // A full batch means the sender has more: pipeline the next header
-    // request while the bodies below start downloading.
-    if (extended && headers.size() >= sync_.headers_batch) {
-      request_headers(from);
+    if (solicited) {
+      // A full batch means the sender has more: keep walking even when
+      // this batch connected nothing new — our locator's exponential
+      // spacing can undershoot the fork point, making the first batches
+      // pure overlap. The no-progress cap is what stops a peer replaying
+      // the same batch from spinning the walk forever.
+      headers_no_progress_ = extended ? 0 : headers_no_progress_ + 1;
+      if (headers.size() >= sync_.headers_batch &&
+          headers_no_progress_ < sync_.max_stale_header_rounds &&
+          !peer_banned(from)) {
+        request_headers(from);
+      }
     }
     schedule_downloads();
   }
@@ -252,7 +451,14 @@ void NetNode::on_get_data(NodeId from, std::span<const std::uint8_t> body) {
   try {
     hashes = mainchain::codec::decode_inv(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.malformed;
+    note_malformed(from);
+    return;
+  }
+  if (hashes.size() > sync_.dos.max_get_data) {
+    // Honest requesters never ask for more than their own in-flight cap;
+    // a giant list is a bandwidth-amplification attempt. Serve none of it.
+    ++peer_ref(from).oversized;
+    misbehave(from, sync_.dos.oversized_penalty);
     return;
   }
   std::vector<crypto::Digest> missing;
@@ -278,16 +484,32 @@ void NetNode::on_not_found(NodeId from, std::span<const std::uint8_t> body) {
   try {
     hashes = mainchain::codec::decode_inv(body);
   } catch (const mainchain::codec::CodecError&) {
-    ++stats_.malformed;
+    note_malformed(from);
     return;
   }
   std::map<NodeId, std::vector<crypto::Digest>> batches;
+  bool abusive = false;
   for (const auto& hash : hashes) {
     auto it = in_flight_.find(hash);
+    if (it == in_flight_.end()) {
+      // Late bounces for slots we already gave up or filled are honest.
+      // A hash whose header we never even saw cannot have been requested
+      // from anyone — naming it is fabrication.
+      if (chain().find_header(hash) == nullptr &&
+          !legacy_requested_.contains(hash)) {
+        abusive = true;
+      }
+      continue;
+    }
     // Only the peer that owns the slot may bounce it — a stale notfound
     // from an earlier assignment must not steal the live request.
-    if (it == in_flight_.end() || it->second.peer != from) continue;
+    if (it->second.peer != from) continue;
     reassign_download(hash, from, batches);
+  }
+  if (abusive) {
+    // Once per message, not per hash: one fabricated list is one offense.
+    ++peer_ref(from).notfound_abuse;
+    misbehave(from, sync_.dos.notfound_abuse_penalty);
   }
   for (const auto& [peer, batch] : batches) {
     send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(batch));
@@ -298,6 +520,12 @@ void NetNode::start_header_sync(NodeId peer) {
   if (sync_.mode != SyncMode::kHeadersFirst) return;
   if (headers_request_active_) return;
   headers_attempts_ = 0;
+  headers_no_progress_ = 0;
+  if (peer_banned(peer)) {
+    auto alt = pick_header_peer(std::nullopt);
+    if (!alt) return;
+    peer = *alt;
+  }
   request_headers(peer);
 }
 
@@ -307,7 +535,7 @@ void NetNode::request_headers(NodeId peer) {
   headers_sent_at_ = net_.now();
   send_msg(peer, MsgType::kGetHeaders,
            mainchain::codec::encode_locator(chain().locator()));
-  arm_stall_timer();
+  arm_stall_timer(headers_sent_at_ + sync_.stall_timeout);
 }
 
 std::optional<NodeId> NetNode::pick_download_peer(
@@ -316,13 +544,30 @@ std::optional<NodeId> NetNode::pick_download_peer(
   if (peer_in_flight_.size() < n) peer_in_flight_.resize(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId cand = static_cast<NodeId>((next_dl_peer_ + i) % n);
-    if (cand == id_) continue;
+    if (cand == id_ || peer_banned(cand)) continue;
     if (exclude && *exclude == cand && n > 2) continue;
     if (peer_in_flight_[cand] >= sync_.per_peer_window) continue;
     next_dl_peer_ = static_cast<NodeId>((cand + 1) % n);
     return cand;
   }
   return std::nullopt;
+}
+
+std::optional<NodeId> NetNode::pick_header_peer(
+    std::optional<NodeId> exclude) {
+  const std::size_t n = net_.node_count();
+  std::optional<NodeId> fallback;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const NodeId cand = static_cast<NodeId>((headers_peer_ + i) % n);
+    if (cand == id_ || peer_banned(cand)) continue;
+    if (exclude && *exclude == cand) {
+      // The peer that just stalled: usable, but only if nobody else is.
+      if (!fallback) fallback = cand;
+      continue;
+    }
+    return cand;
+  }
+  return fallback;
 }
 
 void NetNode::schedule_downloads() {
@@ -344,32 +589,47 @@ void NetNode::schedule_downloads() {
   for (const auto& [peer, hashes] : batches) {
     send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(hashes));
   }
-  if (!batches.empty()) arm_stall_timer();
+  if (!batches.empty()) arm_stall_timer(net_.now() + sync_.stall_timeout);
 }
 
-void NetNode::arm_stall_timer() {
-  if (stall_timer_armed_) return;
+void NetNode::arm_stall_timer(SimTime deadline) {
+  // One timer per earliest deadline: a later request rides on the armed
+  // timer (on_stall_timer re-arms for whatever is still pending), but an
+  // earlier deadline needs its own firing — the old single flat timer
+  // made a request armed behind an older round wait out two timeouts.
+  if (stall_timer_armed_ && stall_timer_deadline_ <= deadline) return;
   stall_timer_armed_ = true;
-  net_.set_timer(id_, sync_.stall_timeout);
+  stall_timer_deadline_ = deadline;
+  const SimTime now = net_.now();
+  net_.set_timer(id_, deadline > now ? deadline - now : 0);
 }
 
 void NetNode::on_stall_timer() {
   stall_timer_armed_ = false;
-  if (sync_.mode != SyncMode::kHeadersFirst) return;
+  sweep_orphan_suspects();
   const SimTime now = net_.now();
+  if (sync_.mode != SyncMode::kHeadersFirst) {
+    // Legacy mode still needs the timer for suspect judgment.
+    if (!orphan_suspects_.empty()) {
+      arm_stall_timer(orphan_suspects_.front().seen_at +
+                      sync_.dos.orphan_suspect_grace);
+    }
+    return;
+  }
 
   if (headers_request_active_ &&
       now - headers_sent_at_ >= sync_.stall_timeout) {
-    // The header round died in flight. Retry against the next peer a
-    // bounded number of times; past that, the next announcement restarts
-    // the sync (retrying into a blackout forever would keep the event
-    // queue spinning).
+    // The header round died in flight. Retry against the next eligible
+    // peer a bounded number of times; past that, the next announcement
+    // restarts the sync (retrying into a blackout forever would keep the
+    // event queue spinning).
+    const NodeId stalled_peer = headers_peer_;
     headers_request_active_ = false;
     if (++headers_attempts_ < sync_.max_request_attempts) {
-      ++stats_.stalled_rerequests;
-      NodeId next = static_cast<NodeId>((headers_peer_ + 1) % net_.node_count());
-      if (next == id_) next = static_cast<NodeId>((next + 1) % net_.node_count());
-      request_headers(next);
+      if (auto next = pick_header_peer(stalled_peer)) {
+        ++stats_.stalled_rerequests;
+        request_headers(*next);
+      }
     }
   }
 
@@ -385,14 +645,42 @@ void NetNode::on_stall_timer() {
   for (const auto& [peer, hashes] : batches) {
     send_msg(peer, MsgType::kGetData, mainchain::codec::encode_inv(hashes));
   }
-  if (!in_flight_.empty() || headers_request_active_) arm_stall_timer();
+
+  // Every slot can give up (attempts exhausted against peers that are
+  // themselves still catching up) while bodies are still missing — and
+  // with no further announcements coming, nothing else would re-request
+  // them. Re-pump the frontier a bounded number of times; any progress
+  // resets the budget, so only a true blackout runs it out.
+  if (in_flight_.empty() && !headers_request_active_ &&
+      frontier_attempts_ < sync_.max_request_attempts &&
+      !chain().next_missing_bodies(1).empty()) {
+    ++frontier_attempts_;
+    schedule_downloads();
+  }
+
+  // Re-arm for the earliest deadline still pending — not a flat timeout
+  // from now, which would let a young request wait up to two timeouts.
+  std::optional<SimTime> next;
+  if (headers_request_active_) {
+    next = headers_sent_at_ + sync_.stall_timeout;
+  }
+  for (const auto& [hash, inf] : in_flight_) {
+    const SimTime deadline = inf.sent_at + sync_.stall_timeout;
+    if (!next || deadline < *next) next = deadline;
+  }
+  if (!orphan_suspects_.empty()) {
+    const SimTime deadline = orphan_suspects_.front().seen_at +
+                             sync_.dos.orphan_suspect_grace;
+    if (!next || deadline < *next) next = deadline;
+  }
+  if (next) arm_stall_timer(*next);
 }
 
 void NetNode::reassign_download(
     const crypto::Digest& hash, NodeId from,
     std::map<NodeId, std::vector<crypto::Digest>>& batches) {
   InFlight& inf = in_flight_.at(hash);
-  --peer_in_flight_[inf.peer];
+  if (inf.peer < peer_in_flight_.size()) --peer_in_flight_[inf.peer];
   auto peer = inf.attempts < sync_.max_request_attempts
                   ? pick_download_peer(from)
                   : std::nullopt;

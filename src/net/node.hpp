@@ -18,9 +18,11 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <map>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/engine.hpp"
 #include "net/sim.hpp"
@@ -48,6 +50,78 @@ enum class SyncMode : std::uint8_t {
   kHeadersFirst,  ///< locator -> header batches -> parallel body download
 };
 
+/// Per-peer misbehavior scoring knobs (zen's DoS machinery shape: every
+/// offense adds to a per-peer score; crossing ban_threshold disconnects
+/// the peer for ban_duration ticks). Penalties are calibrated so a
+/// protocol violation no honest peer can produce (garbage payloads,
+/// PoW-invalid headers, oversized batches) bans within a handful of
+/// events, while noisy-but-honest traffic (gossip duplicates, late
+/// replies to abandoned rounds, orphans during races) rides on free
+/// budgets and never scores.
+struct DosConfig {
+  bool enabled = true;
+  /// Score at which the peer is disconnected and banned.
+  int ban_threshold = 100;
+  /// Ban length in sim ticks; chosen to outlast any one sync scenario.
+  SimTime ban_duration = 100'000;
+  /// Undecodable payload or unknown message tag.
+  int malformed_penalty = 20;
+  /// A batch larger than anything we would request or serve
+  /// (kHeaders above headers_batch, kGetData above max_get_data).
+  int oversized_penalty = 100;
+  /// Per confirmed-junk orphan beyond orphan_budget — a flood of
+  /// parent-less blocks aimed at churning the orphan pool. An unsolicited
+  /// orphan is never charged on arrival (a deep post-partition burst
+  /// delivers hundreds of honest ones); it goes into a bounded suspect
+  /// table and is charged only retrospectively, once it is old enough
+  /// for header sync to have mapped its ancestry and neither the header
+  /// tree nor the orphan pool knows it — the signature of fabricated
+  /// ancestry. Headers-first only: the legacy walk has no header tree
+  /// to judge with, so it never files suspects.
+  int orphan_flood_penalty = 5;
+  /// Per unsolicited kHeaders message beyond unsolicited_headers_budget.
+  int unsolicited_headers_penalty = 5;
+  /// A kNotFound naming blocks we never requested from anyone.
+  int notfound_abuse_penalty = 20;
+  /// Confirmed-junk orphans tolerated per peer before scoring starts:
+  /// an honest orphan can die unconnected now and then (a loser-branch
+  /// tip evicted by pool pressure), a flood of them cannot.
+  std::uint32_t orphan_budget = 8;
+  /// Ticks an unsolicited orphan sits in the suspect table before being
+  /// judged — long enough for a deep catch-up to download and connect
+  /// the honest ones (a couple of stall timeouts).
+  SimTime orphan_suspect_grace = 64;
+  /// Suspect-table size bound; overflow drops the oldest entries
+  /// unjudged (benefit of the doubt) so memory stays fixed.
+  std::size_t max_orphan_suspects = 256;
+  /// Unsolicited kHeaders messages tolerated per peer (late replies to
+  /// rounds the stall timer abandoned are honest).
+  std::uint32_t unsolicited_headers_budget = 8;
+  /// kGetData lists above this length are refused and scored — honest
+  /// requesters never ask for more than their own in-flight cap.
+  std::size_t max_get_data = 256;
+};
+
+/// Per-peer accounting: misbehavior score, ban state, and the offense
+/// counters that feed it (the per-peer split of Stats::malformed /
+/// Stats::rejected plus per-MsgType received counts).
+struct PeerState {
+  int score = 0;
+  bool banned = false;
+  SimTime banned_until = 0;
+  std::uint64_t bans = 0;       ///< times this peer crossed the threshold
+  std::uint64_t malformed = 0;  ///< undecodable payloads from this peer
+  std::uint64_t rejected = 0;   ///< invalid blocks/headers from this peer
+  std::uint64_t unsolicited_orphans = 0;
+  /// Suspects judged junk: never connected, no longer pool-resident.
+  std::uint64_t junk_orphans = 0;
+  std::uint64_t unsolicited_headers = 0;
+  std::uint64_t notfound_abuse = 0;  ///< abusive kNotFound messages
+  std::uint64_t oversized = 0;       ///< over-limit batches
+  /// Wire traffic received from this peer by MsgType tag.
+  std::array<std::uint64_t, kMsgTypeCount> received{};
+};
+
 /// Headers-first pipeline knobs. Serving (kGetHeaders/kGetData answers)
 /// is mode-independent; only the requesting strategy switches on `mode`.
 struct SyncConfig {
@@ -68,6 +142,13 @@ struct SyncConfig {
   /// next announcement or headers arrival re-arms the download, so this
   /// bounds retry storms during blackouts without wedging sync.
   std::uint32_t max_request_attempts = 4;
+  /// Consecutive solicited full header batches that connect nothing new
+  /// before the locator walk stops pipelining (an honest re-request race
+  /// produces one; a peer replaying the same batch forever would
+  /// otherwise keep the walk spinning).
+  std::uint32_t max_stale_header_rounds = 3;
+  /// Misbehavior scoring and banning.
+  DosConfig dos;
 };
 
 class NetNode {
@@ -89,6 +170,11 @@ class NetNode {
   /// Mine one block from the local mempool on the local tip and gossip
   /// it to every peer.
   mainchain::Block mine();
+
+  /// Mine without announcing — a selfish miner extending its private
+  /// branch. The block is only revealed by a later announce_tip() (or by
+  /// peers header-syncing through it).
+  mainchain::Block mine_withheld();
 
   /// Re-broadcast the current tip block — how a node restarts sync after
   /// a partition heals (peers that missed the branch orphan the tip and
@@ -112,6 +198,8 @@ class NetNode {
     std::uint64_t stalled_rerequests = 0;  ///< re-issues after a stall
                                            ///< or a kNotFound bounce
     std::uint64_t reorgs = 0;
+    std::uint64_t dos_events = 0;    ///< misbehavior penalties applied
+    std::uint64_t peers_banned = 0;  ///< ban decisions taken (re-bans count)
 
     /// Wire traffic by MsgType tag (index = raw tag value, 0 unused).
     std::array<std::uint64_t, kMsgTypeCount> msgs_sent{};
@@ -128,6 +216,14 @@ class NetNode {
   [[nodiscard]] std::size_t blocks_in_flight() const {
     return in_flight_.size();
   }
+
+  /// Per-peer misbehavior ledger (zeroes for a peer never heard from).
+  [[nodiscard]] const PeerState& peer_state(NodeId peer) const;
+  /// True while `peer` is banned here; clears expired bans as a side
+  /// effect (score resets on expiry — the peer starts clean).
+  [[nodiscard]] bool peer_banned(NodeId peer);
+  /// Peers currently banned by this node.
+  [[nodiscard]] std::size_t banned_peer_count() const;
 
  private:
   struct InFlight {
@@ -163,8 +259,38 @@ class NetNode {
   void schedule_downloads();
   /// Round-robin pick of a peer with window capacity; `exclude` skips a
   /// peer that just stalled (ignored when it is the only other node).
+  /// Banned peers are never picked.
   std::optional<NodeId> pick_download_peer(std::optional<NodeId> exclude);
-  void arm_stall_timer();
+  /// Peer for a header round retry: first non-self, non-banned candidate
+  /// after headers_peer_, preferring one that is not `exclude` (the peer
+  /// that just stalled) but falling back to it when it is the only
+  /// option. nullopt when no eligible peer exists.
+  std::optional<NodeId> pick_header_peer(std::optional<NodeId> exclude);
+  /// Guarantees a timer fires at or before `deadline` (the earliest
+  /// pending request deadline — not simply now + stall_timeout, so a
+  /// round armed while an earlier round's timer is pending cannot wait
+  /// out two timeouts).
+  void arm_stall_timer(SimTime deadline);
+
+  // ---- Misbehavior scoring (tentpole of the DoS layer) ----
+
+  /// Mutable per-peer state, growing the table on first contact.
+  PeerState& peer_ref(NodeId peer);
+  /// Books an undecodable payload / unknown tag against `from`.
+  void note_malformed(NodeId from);
+  /// Files an unsolicited parent-less block into the suspect table and
+  /// sweeps it; charges fall out of the sweep, never out of the arrival.
+  void note_unsolicited_orphan(NodeId from, const crypto::Digest& hash);
+  /// Judges the oldest few suspects: connected or pool-resident ones are
+  /// innocent, vanished ones are junk and charge their deliverer.
+  void sweep_orphan_suspects();
+  /// Adds `penalty` to the peer's score; crossing DosConfig::ban_threshold
+  /// bans it. No-op when scoring is disabled or the penalty is zero.
+  void misbehave(NodeId peer, int penalty);
+  /// Disconnects `peer`: tells the SimNet to refuse the pair's traffic,
+  /// reassigns every download owned by the peer, and moves an active
+  /// header round away from it.
+  void ban_peer(NodeId peer);
 
   void relay_block(NodeId origin, std::vector<std::uint8_t> wire);
   void request_block(NodeId from, const crypto::Digest& hash);
@@ -183,12 +309,40 @@ class NetNode {
   std::unordered_map<crypto::Digest, InFlight, crypto::DigestHash> in_flight_;
   /// In-flight request count per peer (indexed by NodeId, grown lazily).
   std::vector<std::size_t> peer_in_flight_;
+  /// Per-peer misbehavior ledger (indexed by NodeId, grown lazily).
+  std::vector<PeerState> peers_;
+  /// Outstanding legacy-walk kGetBlock hashes: their kBlock answers are
+  /// solicited (no orphan-flood scoring) even though the headers-first
+  /// in_flight_ table does not know them. Bounded so a hostile peer
+  /// cannot grow it: entries clear on arrival, and the honest walk keeps
+  /// only a handful outstanding.
+  std::unordered_set<crypto::Digest, crypto::DigestHash> legacy_requested_;
+  struct OrphanSuspect {
+    crypto::Digest hash;
+    NodeId peer = 0;
+    SimTime seen_at = 0;
+  };
+  /// Unsolicited parent-less deliveries awaiting retrospective judgment,
+  /// oldest first; bounded by DosConfig::max_orphan_suspects.
+  std::deque<OrphanSuspect> orphan_suspects_;
   NodeId next_dl_peer_ = 0;  ///< round-robin cursor
   bool headers_request_active_ = false;
   NodeId headers_peer_ = 0;
   SimTime headers_sent_at_ = 0;
   std::uint32_t headers_attempts_ = 0;
+  /// Consecutive solicited full batches that connected nothing new; stops
+  /// the locator-walk pipeline at SyncConfig::max_stale_header_rounds.
+  std::uint32_t headers_no_progress_ = 0;
+  /// Timer-driven schedule_downloads() restarts since the last sync
+  /// progress. The frontier can outlive every download slot (each slot
+  /// gives up after max_request_attempts while the serving peers are
+  /// themselves still catching up), so the stall timer re-pumps it —
+  /// bounded by max_request_attempts so a blacked-out node still
+  /// quiesces, and reset whenever a block connects or headers extend.
+  std::uint32_t frontier_attempts_ = 0;
   bool stall_timer_armed_ = false;
+  /// When the earliest pending stall timer fires.
+  SimTime stall_timer_deadline_ = 0;
 };
 
 }  // namespace zendoo::net

@@ -10,8 +10,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <unordered_map>
 #include <variant>
 
+#include "mainchain/codec.hpp"
+#include "mainchain/miner.hpp"
 #include "net/node.hpp"
 
 namespace zendoo::net {
@@ -43,11 +46,252 @@ struct NodeCluster {
   }
 };
 
+// ---------------------------------------------------------------------
+// Adversarial nodes
+//
+// Wire-level attackers for the DoS/ban layer: each registers a raw
+// SimNet endpoint (no Engine, no honest protocol machine) and crafts
+// exactly the hostile traffic its attack needs. Honest NetNodes must
+// survive each of them — converge with the honest majority, keep their
+// orphan pool / in-flight windows bounded, and ban the attacker within
+// a bounded number of misbehavior events.
+// ---------------------------------------------------------------------
+
+/// Base: a scriptable raw endpoint. Subclasses override on_message to
+/// react to victim traffic (serving corrupt data); drive methods inject
+/// unsolicited floods.
+class AdversaryNode {
+ public:
+  explicit AdversaryNode(SimNet& net) : net_(net) {
+    id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
+      on_message(from, p);
+    });
+  }
+  virtual ~AdversaryNode() = default;
+  AdversaryNode(const AdversaryNode&) = delete;
+  AdversaryNode& operator=(const AdversaryNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  /// Wire messages this adversary pushed (floods + replies).
+  [[nodiscard]] std::uint64_t msgs_sent() const { return msgs_sent_; }
+
+ protected:
+  virtual void on_message(NodeId /*from*/,
+                          std::span<const std::uint8_t> /*payload*/) {}
+
+  void send_msg(NodeId to, MsgType type,
+                const std::vector<std::uint8_t>& body) {
+    std::vector<std::uint8_t> wire;
+    wire.reserve(body.size() + 1);
+    wire.push_back(static_cast<std::uint8_t>(type));
+    wire.insert(wire.end(), body.begin(), body.end());
+    ++msgs_sent_;
+    net_.send(id_, to, std::move(wire));
+  }
+
+  SimNet& net_;
+  NodeId id_ = 0;
+  std::uint64_t msgs_sent_ = 0;
+};
+
+/// Floods victims with PoW-valid blocks whose ancestry is fabricated —
+/// the orphan-pool churn attack. Every block costs the attacker real
+/// grinding (parent-free PoW is checked on arrival), lands in the
+/// victim's bounded pool, never connects, and is eventually judged junk
+/// by the suspect sweep.
+class OrphanSpammer : public AdversaryNode {
+ public:
+  OrphanSpammer(SimNet& net, mainchain::ChainParams params)
+      : AdversaryNode(net), params_(std::move(params)) {}
+
+  /// Sends `count` junk orphans to `victim`, heights near `base_height`
+  /// so they pass the pool's height-window admission.
+  void spam(NodeId victim, std::size_t count, std::uint64_t base_height = 2) {
+    for (std::size_t i = 0; i < count; ++i) {
+      mainchain::Block junk;
+      junk.header.height = base_height + (i % 8);
+      junk.header.prev_hash = crypto::Hasher(crypto::Domain::kGeneric)
+                                  .write_str("fabricated-parent")
+                                  .write_u64(next_serial_++)
+                                  .finalize();
+      junk.header.tx_merkle_root = junk.compute_tx_merkle_root();
+      mainchain::Miner::solve_pow(junk, params_.pow_target);
+      send_msg(victim, MsgType::kBlock, mainchain::codec::encode_block(junk));
+    }
+  }
+
+ private:
+  mainchain::ChainParams params_;
+  std::uint64_t next_serial_ = 0;
+};
+
+/// Serves garbage on the header path: undecodable kHeaders floods,
+/// PoW-invalid header batches, and hostile-count (oversized) batches.
+/// Answers any kGetHeaders a baited victim sends with undecodable bytes,
+/// so an eclipse victim's sync rounds all score against it.
+class GarbageHeaderPeer : public AdversaryNode {
+ public:
+  GarbageHeaderPeer(SimNet& net, mainchain::ChainParams params)
+      : AdversaryNode(net), params_(std::move(params)) {}
+
+  /// A PoW-valid orphan bait: triggers the victim's header sync toward
+  /// this attacker (on_disconnected_block asks the sender first).
+  void bait(NodeId victim) {
+    mainchain::Block b;
+    b.header.height = 2;
+    b.header.prev_hash = crypto::Hasher(crypto::Domain::kGeneric)
+                             .write_str("bait-parent")
+                             .write_u64(next_serial_++)
+                             .finalize();
+    b.header.tx_merkle_root = b.compute_tx_merkle_root();
+    mainchain::Miner::solve_pow(b, params_.pow_target);
+    send_msg(victim, MsgType::kBlock, mainchain::codec::encode_block(b));
+  }
+
+  /// Undecodable kHeaders payloads — pure malformed-message spam.
+  void flood_garbage(NodeId victim, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      send_msg(victim, MsgType::kHeaders,
+               {0xde, 0xad, static_cast<std::uint8_t>(i), 0xbe, 0xef});
+    }
+  }
+
+  /// A decodable batch of PoW-invalid headers (nonce never ground).
+  void send_bogus_batch(NodeId victim, std::size_t count) {
+    std::vector<mainchain::BlockHeader> headers(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      headers[i].height = 1 + i;
+      headers[i].prev_hash = crypto::Hasher(crypto::Domain::kGeneric)
+                                 .write_str("bogus-header")
+                                 .write_u64(next_serial_++)
+                                 .finalize();
+    }
+    send_msg(victim, MsgType::kHeaders, mainchain::codec::encode_headers(headers));
+  }
+
+  /// A batch larger than any honest node would request or serve.
+  void send_oversized_batch(NodeId victim, std::size_t count) {
+    send_msg(victim, MsgType::kHeaders,
+             mainchain::codec::encode_headers(
+                 std::vector<mainchain::BlockHeader>(count)));
+  }
+
+ protected:
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override {
+    if (payload.empty()) return;
+    if (static_cast<MsgType>(payload.front()) == MsgType::kGetHeaders) {
+      flood_garbage(from, 1);  // every sync round the victim tries scores
+    }
+  }
+
+ private:
+  mainchain::ChainParams params_;
+  std::uint64_t next_serial_ = 0;
+};
+
+/// Mirrors gossiped blocks and serves tampered bodies on kGetData: the
+/// header (and thus the hash the victim matched against its request) is
+/// authentic, but the body's coinbase is corrupted, so validation fails
+/// the merkle binding — an offense worth an instant ban. Headers are
+/// never served (kGetHeaders is ignored), so victims learn chain shape
+/// from honest peers and only the body path is poisoned.
+class InvalidBodyPeer : public AdversaryNode {
+ public:
+  explicit InvalidBodyPeer(SimNet& net) : AdversaryNode(net) {}
+
+  [[nodiscard]] std::uint64_t bodies_served() const { return bodies_served_; }
+
+ protected:
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) override {
+    if (payload.empty()) return;
+    const auto tag = static_cast<MsgType>(payload.front());
+    auto body = payload.subspan(1);
+    try {
+      if (tag == MsgType::kBlock) {
+        // Overhear gossip to learn real blocks worth poisoning.
+        mainchain::Block b = mainchain::codec::decode_block(body);
+        seen_.emplace(b.hash(), std::move(b));
+      } else if (tag == MsgType::kGetData) {
+        for (const auto& hash : mainchain::codec::decode_inv(body)) {
+          auto it = seen_.find(hash);
+          if (it == seen_.end()) continue;
+          mainchain::Block poisoned = it->second;
+          if (!poisoned.transactions.empty() &&
+              !poisoned.transactions.front().outputs.empty()) {
+            poisoned.transactions.front().outputs.front().amount += 1;
+          }
+          ++bodies_served_;
+          send_msg(from, MsgType::kBlock,
+                   mainchain::codec::encode_block(poisoned));
+        }
+      }
+    } catch (const mainchain::codec::CodecError&) {
+      // An adversary has no obligation to parse anything.
+    }
+  }
+
+ private:
+  std::unordered_map<crypto::Digest, mainchain::Block, crypto::DigestHash>
+      seen_;
+  std::uint64_t bodies_served_ = 0;
+};
+
+/// kNotFound fabrication: names blocks nobody ever requested, trying to
+/// confuse the victim's download bookkeeping.
+class NotFoundAbuser : public AdversaryNode {
+ public:
+  explicit NotFoundAbuser(SimNet& net) : AdversaryNode(net) {}
+
+  void flood(NodeId victim, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<crypto::Digest> fake{crypto::Hasher(crypto::Domain::kGeneric)
+                                           .write_str("never-requested")
+                                           .write_u64(next_serial_++)
+                                           .finalize()};
+      send_msg(victim, MsgType::kNotFound, mainchain::codec::encode_inv(fake));
+    }
+  }
+
+ private:
+  std::uint64_t next_serial_ = 0;
+};
+
+/// Eclipse-style attack: cut the victim off so the attacker is its only
+/// reachable peer, then poison whatever the victim asks for. The helper
+/// owns the partition shape; the attack traffic comes from the base
+/// GarbageHeaderPeer behaviour (bait + garbage sync answers).
+class EclipseAttacker : public GarbageHeaderPeer {
+ public:
+  EclipseAttacker(SimNet& net, mainchain::ChainParams params)
+      : GarbageHeaderPeer(net, std::move(params)) {}
+
+  /// Partitions the net into {victim, attacker} vs everyone else.
+  void eclipse(NodeId victim) {
+    net_.partition({{victim, id()}});
+    eclipsed_ = victim;
+  }
+  /// Ends the eclipse (the victim's view of the honest net heals).
+  void release() { net_.heal(); }
+  [[nodiscard]] std::optional<NodeId> eclipsed() const { return eclipsed_; }
+
+ private:
+  std::optional<NodeId> eclipsed_;
+};
+
 /// One scheduled action.
 struct ScenarioEvent {
   struct Mine {
     std::size_t node = 0;  ///< index into the runner's node list
     std::size_t count = 1;
+  };
+  /// Selfish mining: extend a private branch without announcing it.
+  struct MineWithheld {
+    std::size_t node = 0;
+    std::size_t count = 1;
+  };
+  /// Reveal a withheld branch (or re-advertise after a heal).
+  struct Announce {
+    std::size_t node = 0;
   };
   struct Partition {
     std::vector<std::vector<NodeId>> groups;
@@ -59,7 +303,7 @@ struct ScenarioEvent {
   };
 
   SimTime at = 0;
-  std::variant<Mine, Partition, Heal, Link> action;
+  std::variant<Mine, MineWithheld, Announce, Partition, Heal, Link> action;
 };
 
 class ScenarioRunner {
@@ -82,6 +326,14 @@ class ScenarioRunner {
         for (std::size_t i = 0; i < mine->count; ++i) {
           nodes_[mine->node]->mine();
         }
+      } else if (const auto* withheld =
+                     std::get_if<ScenarioEvent::MineWithheld>(&event.action)) {
+        for (std::size_t i = 0; i < withheld->count; ++i) {
+          nodes_[withheld->node]->mine_withheld();
+        }
+      } else if (const auto* ann =
+                     std::get_if<ScenarioEvent::Announce>(&event.action)) {
+        nodes_[ann->node]->announce_tip();
       } else if (const auto* part =
                      std::get_if<ScenarioEvent::Partition>(&event.action)) {
         net_.partition(part->groups);

@@ -76,6 +76,19 @@ void SimNet::partition(const std::vector<std::vector<NodeId>>& groups) {
 
 void SimNet::heal() { group_of_.clear(); }
 
+void SimNet::set_ban(NodeId banner, NodeId banned, SimTime until) {
+  if (banner >= handlers_.size() || banned >= handlers_.size()) {
+    throw std::out_of_range("SimNet::set_ban: unknown node id");
+  }
+  SimTime& deadline = bans_[pair_key(banner, banned)];
+  if (until > deadline) deadline = until;
+}
+
+bool SimNet::ban_active(NodeId a, NodeId b) const {
+  auto it = bans_.find(pair_key(a, b));
+  return it != bans_.end() && now_ < it->second;
+}
+
 void SimNet::schedule(
     NodeId from, NodeId to,
     std::shared_ptr<const std::vector<std::uint8_t>> payload) {
@@ -144,6 +157,13 @@ void SimNet::deliver(const Pending& msg) {
     entry.outcome = TraceEntry::Outcome::kPartitioned;
     ++stats_.partitioned;
     ++link.partitioned;
+  } else if (ban_active(msg.from, msg.to)) {
+    // Judged at delivery time like partitions: a message in flight when
+    // the ban lands is refused, one sent during a ban that expired
+    // before arrival gets through.
+    entry.outcome = TraceEntry::Outcome::kBanned;
+    ++stats_.banned;
+    ++link.banned;
   } else {
     entry.outcome = TraceEntry::Outcome::kDelivered;
     ++stats_.delivered;

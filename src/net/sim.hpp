@@ -45,6 +45,7 @@ struct TraceEntry {
     kDelivered,
     kDropped,      ///< lost to the link's drop model
     kPartitioned,  ///< in flight across a cut when it arrived
+    kBanned,       ///< refused: one endpoint has banned the other
   };
 
   SimTime time = 0;
@@ -101,6 +102,15 @@ class SimNet {
     return group_of_.empty() || group_of_[a] == group_of_[b];
   }
 
+  /// Records that `banner` refuses `banned`'s connection until `until`:
+  /// while the ban is active, messages between the pair (either
+  /// direction — a disconnect cuts both) are refused at delivery time
+  /// with outcome kBanned, exactly like a partition cut. Re-banning
+  /// extends the deadline, never shortens it. Bans expire by time alone.
+  void set_ban(NodeId banner, NodeId banned, SimTime until);
+  /// True while a ban between the pair covers the current tick.
+  [[nodiscard]] bool ban_active(NodeId a, NodeId b) const;
+
   /// Schedules a message; delivery happens at now + link latency.
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
   /// Same, sharing one payload buffer across many sends (relay fan-out).
@@ -129,6 +139,7 @@ class SimNet {
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
     std::uint64_t partitioned = 0;
+    std::uint64_t banned = 0;  ///< refused because of an active ban
     std::uint64_t timers_set = 0;
     std::uint64_t timers_fired = 0;
   };
@@ -142,6 +153,7 @@ class SimNet {
     std::uint64_t delivered = 0;  ///< reached the receiving handler
     std::uint64_t dropped = 0;    ///< lost to the link's drop model
     std::uint64_t partitioned = 0;  ///< died crossing an active cut
+    std::uint64_t banned = 0;       ///< refused by an active ban
   };
   /// Stats for the directed link from -> to (zeroes when never used).
   [[nodiscard]] LinkStats link_stats(NodeId from, NodeId to) const;
@@ -179,6 +191,8 @@ class SimNet {
   std::unordered_map<std::uint64_t, LinkStats> link_stats_;
   /// Empty = fully connected; else group_of_[id] labels the partition.
   std::vector<std::uint32_t> group_of_;
+  /// Active bans by unordered pair key; value = expiry tick.
+  std::unordered_map<std::uint64_t, SimTime> bans_;
   std::priority_queue<Pending, std::vector<Pending>, LaterFirst> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;

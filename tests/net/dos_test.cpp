@@ -1,0 +1,214 @@
+// DoS-scoring unit tests: the per-peer misbehavior ledger in isolation.
+// Each test drives one offense class over raw injected wire traffic and
+// checks the score arithmetic, the ban decision, the SimNet-level
+// refusal of banned traffic, and ban expiry. The emergent behavior —
+// honest majorities surviving live attackers — lives in
+// tests/integration/adversarial_test.cpp.
+#include <gtest/gtest.h>
+
+#include "mainchain/codec.hpp"
+#include "net/node.hpp"
+#include "net/scenario.hpp"
+
+namespace zendoo::net {
+namespace {
+
+using crypto::Domain;
+
+std::vector<std::uint8_t> wire_msg(MsgType type,
+                                   const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(body.size() + 1);
+  wire.push_back(static_cast<std::uint8_t>(type));
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+/// One victim NetNode (id 0) plus one raw attacker endpoint (id 1) that
+/// never reacts — the minimal fixture for scoring arithmetic.
+struct DosRig {
+  SimNet net;
+  NetNode victim;
+  NodeId attacker;
+
+  explicit DosRig(std::uint64_t seed, SyncConfig sync = {})
+      : net(seed),
+        victim(net, mainchain::ChainParams{},
+               crypto::KeyPair::from_seed(crypto::Hasher(Domain::kGeneric)
+                                              .write_str("dos-victim")
+                                              .write_u64(seed)
+                                              .finalize()),
+               sync),
+        attacker(net.add_node([](NodeId, std::span<const std::uint8_t>) {})) {}
+
+  void inject(MsgType type, const std::vector<std::uint8_t>& body) {
+    net.send(attacker, victim.id(), wire_msg(type, body));
+    net.run_until_idle();
+  }
+};
+
+TEST(Dos, MalformedPayloadsBanAfterThreshold) {
+  DosRig rig(11);
+  const int per = rig.victim.sync_config().dos.malformed_penalty;
+  const int threshold = rig.victim.sync_config().dos.ban_threshold;
+  const int needed = (threshold + per - 1) / per;  // 5 at the defaults
+
+  for (int i = 0; i < needed - 1; ++i) {
+    rig.inject(MsgType::kBlock, {0xde, 0xad});
+  }
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+  rig.inject(MsgType::kBlock, {0xde, 0xad});
+
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.banned_peer_count(), 1u);
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).malformed,
+            static_cast<std::uint64_t>(needed));
+  EXPECT_GE(rig.victim.peer_state(rig.attacker).score, threshold);
+  EXPECT_EQ(rig.victim.stats().peers_banned, 1u);
+
+  // The ban is enforced below the node: further traffic is refused at
+  // delivery time and the victim's handler never sees it.
+  const std::uint64_t malformed_before = rig.victim.stats().malformed;
+  rig.inject(MsgType::kBlock, {0xde, 0xad});
+  EXPECT_EQ(rig.victim.stats().malformed, malformed_before);
+  EXPECT_GE(rig.net.stats().banned, 1u);
+}
+
+TEST(Dos, UnknownMessageTagScoresAsMalformed) {
+  DosRig rig(13);
+  rig.net.send(rig.attacker, rig.victim.id(), {0x7f, 0x01, 0x02});
+  rig.net.run_until_idle();
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).malformed, 1u);
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score,
+            rig.victim.sync_config().dos.malformed_penalty);
+}
+
+TEST(Dos, OversizedHeaderBatchBansInstantly) {
+  DosRig rig(17);
+  const std::size_t batch = rig.victim.sync_config().headers_batch;
+  rig.inject(MsgType::kHeaders,
+             mainchain::codec::encode_headers(
+                 std::vector<mainchain::BlockHeader>(batch + 1)));
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).oversized, 1u);
+  // The refusal happened before any PoW work: no header was examined.
+  EXPECT_EQ(rig.victim.stats().headers_received, 0u);
+}
+
+TEST(Dos, OversizedGetDataServedNothingAndBans) {
+  DosRig rig(19);
+  const std::size_t cap = rig.victim.sync_config().dos.max_get_data;
+  rig.inject(MsgType::kGetData,
+             mainchain::codec::encode_inv(
+                 std::vector<crypto::Digest>(cap + 1)));
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.stats().get_data_served, 0u);
+  EXPECT_EQ(rig.victim.stats().sent(MsgType::kNotFound), 0u);
+}
+
+TEST(Dos, FabricatedNotFoundScoresPerMessage) {
+  DosRig rig(23);
+  const auto& dos = rig.victim.sync_config().dos;
+  const int needed = (dos.ban_threshold + dos.notfound_abuse_penalty - 1) /
+                     dos.notfound_abuse_penalty;
+  for (int i = 0; i < needed; ++i) {
+    // Several fabricated hashes per message: one message = one offense.
+    std::vector<crypto::Digest> fake;
+    for (int j = 0; j < 3; ++j) {
+      fake.push_back(crypto::Hasher(Domain::kGeneric)
+                         .write_str("never-requested")
+                         .write_u64(static_cast<std::uint64_t>(i * 3 + j))
+                         .finalize());
+    }
+    rig.inject(MsgType::kNotFound, mainchain::codec::encode_inv(fake));
+  }
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).notfound_abuse,
+            static_cast<std::uint64_t>(needed));
+}
+
+TEST(Dos, UnsolicitedHeadersRideFreeBudgetThenScore) {
+  DosRig rig(29);
+  const auto& dos = rig.victim.sync_config().dos;
+  const auto empty = mainchain::codec::encode_headers({});
+
+  for (std::uint32_t i = 0; i < dos.unsolicited_headers_budget; ++i) {
+    rig.inject(MsgType::kHeaders, empty);
+  }
+  // Late replies to abandoned rounds are honest: no score yet.
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, 0);
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+
+  const int past_budget =
+      (dos.ban_threshold + dos.unsolicited_headers_penalty - 1) /
+      dos.unsolicited_headers_penalty;
+  for (int i = 0; i < past_budget; ++i) {
+    rig.inject(MsgType::kHeaders, empty);
+  }
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).unsolicited_headers,
+            dos.unsolicited_headers_budget +
+                static_cast<std::uint64_t>(past_budget));
+}
+
+TEST(Dos, BanExpiresAndPeerStartsClean) {
+  SyncConfig sync;
+  sync.dos.ban_duration = 100;
+  DosRig rig(31, sync);
+  for (int i = 0; i < 5; ++i) rig.inject(MsgType::kBlock, {0xff});
+  ASSERT_TRUE(rig.victim.peer_banned(rig.attacker));
+  const SimTime banned_at = rig.net.now();
+
+  rig.net.run_until(banned_at + sync.dos.ban_duration + 1);
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.banned_peer_count(), 0u);
+  // The slate is clean: the score reset with the expiry...
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, 0);
+
+  // ...and traffic flows again, both at the SimNet and the node.
+  const std::uint64_t malformed_before = rig.victim.stats().malformed;
+  rig.inject(MsgType::kBlock, {0xff});
+  EXPECT_EQ(rig.victim.stats().malformed, malformed_before + 1);
+  // Ban decisions are history, not state: the counter remembers one.
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).bans, 1u);
+}
+
+TEST(Dos, ScoringDisabledNeverBans) {
+  SyncConfig sync;
+  sync.dos.enabled = false;
+  DosRig rig(37, sync);
+  for (int i = 0; i < 50; ++i) rig.inject(MsgType::kBlock, {0xba, 0xad});
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, 0);
+  // The per-peer bookkeeping still works; only the penalties are off.
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).malformed, 50u);
+}
+
+TEST(Dos, HonestDeepCatchUpNeverScores) {
+  // A 100-block post-partition storm floods node 3 with orphans and
+  // duplicate traffic — all of it honest. Nobody's ledger may show a
+  // penalty, and nobody gets banned.
+  NodeCluster c(41, 4);
+  c.net.partition({{0, 1, 2}, {3}});
+  for (int i = 0; i < 100; ++i) c[0].mine();
+  c.net.run_until_idle();
+  c.net.heal();
+  c[0].announce_tip();
+  c.net.run_until_idle();
+  // Let every orphan suspect age past the grace period and be judged.
+  c.net.run_until(c.net.now() + 2 * c[0].sync_config().dos.orphan_suspect_grace);
+  c.net.run_until_idle();
+
+  ASSERT_EQ(c[3].height(), 100u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(c[i].banned_peer_count(), 0u) << "node " << i;
+    EXPECT_EQ(c[i].stats().peers_banned, 0u) << "node " << i;
+    for (NodeId peer = 0; peer < 4; ++peer) {
+      EXPECT_EQ(c[i].peer_state(peer).score, 0)
+          << "node " << i << " scored peer " << peer;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace zendoo::net

@@ -348,6 +348,258 @@ TEST(HeadersFirst, ServesHeadersAndDataToLegacyPeersToo) {
   EXPECT_GE(legacy.stats().get_data_served, 1u);
 }
 
+// ---------------------------------------------------------------------
+// Scheduler regressions
+//
+// Each test below reproduces a wedge the download/header scheduler used
+// to have: before its fix the assertions at the bottom fail (sync never
+// completes or the retry fires a full timeout late).
+// ---------------------------------------------------------------------
+
+/// Raw wire envelope: 1-byte tag + codec body, for injecting crafted
+/// traffic from an arbitrary endpoint.
+std::vector<std::uint8_t> wire_msg(MsgType type,
+                                   const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> wire;
+  wire.reserve(body.size() + 1);
+  wire.push_back(static_cast<std::uint8_t>(type));
+  wire.insert(wire.end(), body.begin(), body.end());
+  return wire;
+}
+
+/// Blocks 1..height of a freshly mined single-node chain — real PoW and
+/// real ancestry, for scripted peers that serve genuine data. The miner
+/// key derives from `seed`, so different seeds give different chains
+/// (block content is otherwise fully deterministic).
+std::vector<mainchain::Block> mined_chain(std::uint64_t seed,
+                                          std::uint64_t height) {
+  SimNet net(seed);
+  auto key = crypto::KeyPair::from_seed(crypto::Hasher(Domain::kGeneric)
+                                            .write_str("scripted-chain")
+                                            .write_u64(seed)
+                                            .finalize());
+  NetNode source(net, mainchain::ChainParams{}, key);
+  for (std::uint64_t i = 0; i < height; ++i) source.mine();
+  std::vector<mainchain::Block> out;
+  out.reserve(height);
+  for (std::uint64_t h = 1; h <= height; ++h) {
+    const mainchain::Block* b =
+        source.chain().find_block(source.chain().hash_at_height(h));
+    out.push_back(*b);
+  }
+  return out;
+}
+
+TEST(SchedulerRegression, UnsolicitedHeadersCannotCloseAnotherPeersRound) {
+  // Node 0 owns node 2's header round; node 1 injects an unsolicited
+  // (empty) kHeaders batch while node 0's answer dies on a dead link.
+  // The buggy scheduler let any kHeaders clear headers_request_active_,
+  // so node 1's batch closed node 0's round and the stall timer had
+  // nothing left to retry — sync wedged at height 0 forever.
+  NodeCluster c(51, 3);
+  c.net.partition({{0, 1}, {2}});
+  c[0].mine();
+  c[0].mine();
+  c.net.run_until_idle();
+  ASSERT_EQ(c[1].height(), 2u);
+
+  c.net.heal();
+  c[0].announce_tip();
+  // Deliver events until node 2 orphans the tip and opens a header round
+  // with node 0 (the announcing sender).
+  while (c[2].stats().sent(MsgType::kGetHeaders) == 0) {
+    ASSERT_TRUE(c.net.step());
+  }
+  // Node 0's kHeaders answer (sent after this point) dies on the link.
+  LinkParams dead;
+  dead.drop_num = 1;
+  dead.drop_den = 1;
+  c.net.set_link(0, 2, dead);
+  // The stale/unsolicited batch from node 1 arrives mid-round.
+  c.net.send(1, 2,
+             wire_msg(MsgType::kHeaders, mainchain::codec::encode_headers({})));
+  c.net.run_until_idle();
+
+  // Ownership held: the round stayed open, the stall timer moved it to
+  // node 1, and the download completed around the dead link.
+  EXPECT_EQ(c[2].height(), 2u);
+  EXPECT_EQ(c[2].tip(), c[0].tip());
+  EXPECT_GE(c[2].stats().stalled_rerequests, 1u);
+  EXPECT_GE(c[2].stats().sent(MsgType::kGetHeaders), 2u);
+}
+
+/// Scripted header server: replays a fixed batch schedule (the first
+/// batch twice) over a real mined chain, then serves bodies honestly.
+/// The duplicated full batch is what an honest peer produces when a
+/// locator race makes the requester ask twice — not an attack.
+class ReplayHeaderServer {
+ public:
+  ReplayHeaderServer(SimNet& net, std::vector<mainchain::Block> chain,
+                     std::size_t batch)
+      : net_(net), chain_(std::move(chain)), batch_(batch) {
+    id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
+      on_message(from, p);
+    });
+    for (const auto& b : chain_) blocks_by_hash_.emplace(b.hash(), &b);
+  }
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] std::size_t header_requests() const {
+    return header_requests_;
+  }
+
+  /// Kicks the victim's sync by announcing the chain tip.
+  void announce(NodeId victim) {
+    net_.send(id_, victim,
+              wire_msg(MsgType::kBlock,
+                       mainchain::codec::encode_block(chain_.back())));
+  }
+
+ private:
+  void on_message(NodeId from, std::span<const std::uint8_t> payload) {
+    if (payload.empty()) return;
+    const auto tag = static_cast<MsgType>(payload.front());
+    auto body = payload.subspan(1);
+    if (tag == MsgType::kGetHeaders) {
+      // Request 1 -> batch 0, request 2 -> batch 0 again (the full
+      // all-duplicate batch), request n>2 -> batch n-2.
+      const std::size_t req = ++header_requests_;
+      const std::size_t index = req <= 2 ? 0 : req - 2;
+      std::vector<mainchain::BlockHeader> headers;
+      for (std::size_t i = index * batch_;
+           i < std::min(chain_.size(), (index + 1) * batch_); ++i) {
+        headers.push_back(chain_[i].header);
+      }
+      net_.send(id_, from,
+                wire_msg(MsgType::kHeaders,
+                         mainchain::codec::encode_headers(headers)));
+    } else if (tag == MsgType::kGetData) {
+      for (const auto& hash : mainchain::codec::decode_inv(body)) {
+        auto it = blocks_by_hash_.find(hash);
+        if (it == blocks_by_hash_.end()) continue;
+        net_.send(id_, from,
+                  wire_msg(MsgType::kBlock,
+                           mainchain::codec::encode_block(*it->second)));
+      }
+    }
+  }
+
+  SimNet& net_;
+  NodeId id_ = 0;
+  std::vector<mainchain::Block> chain_;
+  std::unordered_map<crypto::Digest, const mainchain::Block*,
+                     crypto::DigestHash>
+      blocks_by_hash_;
+  std::size_t batch_;
+  std::size_t header_requests_ = 0;
+};
+
+TEST(SchedulerRegression, AllDuplicateFullBatchKeepsHeaderWalkAlive) {
+  // A full solicited batch that connects nothing new (an honest replay
+  // after a locator race) used to stop the pipelined walk — `extended`
+  // was false — wedging a 300-block catch-up at the first batch edge.
+  // The walk must keep going on any full batch, bounded only by the
+  // no-progress cap.
+  SimNet net(53);
+  mainchain::ChainParams params;
+  auto key = crypto::KeyPair::from_seed(crypto::Hasher(Domain::kGeneric)
+                                            .write_str("dup-batch-victim")
+                                            .write_u64(0)
+                                            .finalize());
+  NetNode victim(net, params, key);
+  ReplayHeaderServer server(net, mined_chain(59, 300),
+                            victim.sync_config().headers_batch);
+
+  server.announce(victim.id());
+  net.run_until_idle();
+
+  EXPECT_EQ(victim.height(), 300u);
+  // Batches served: 1..128, 1..128 again, 129..256, 257..300 — the
+  // duplicate did not end the walk.
+  EXPECT_GE(server.header_requests(), 4u);
+  EXPECT_EQ(victim.blocks_in_flight(), 0u);
+}
+
+TEST(SchedulerRegression, StallTimerFiresAtEarliestPendingDeadline) {
+  // Bodies go in flight at t1 against dead peers; a header round opens
+  // ~20 ticks later against another dead peer. The old scheduler kept
+  // one flat timer: the body stall at t1+32 re-armed it a full timeout
+  // out (t1+64), so the header retry — due at its own t_h+32 ≈ t1+53 —
+  // waited an extra ~11 ticks. The fixed timer tracks the earliest
+  // pending deadline and retries the header round on time.
+  SimNet net(61);
+  mainchain::ChainParams params;
+  auto key = crypto::KeyPair::from_seed(crypto::Hasher(Domain::kGeneric)
+                                            .write_str("deadline-victim")
+                                            .write_u64(0)
+                                            .finalize());
+  NetNode victim(net, params, key);
+  // Two peers that receive everything and answer nothing.
+  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+
+  // Real headers (ancestry from genesis) injected unsolicited: the
+  // victim connects them and requests the bodies from the dead peers.
+  auto chain = mined_chain(67, 4);
+  std::vector<mainchain::BlockHeader> headers;
+  for (const auto& b : chain) headers.push_back(b.header);
+  net.send(1, victim.id(),
+           wire_msg(MsgType::kHeaders, mainchain::codec::encode_headers(headers)));
+  while (victim.blocks_in_flight() == 0) ASSERT_TRUE(net.step());
+  const SimTime t1 = net.now();
+
+  // ~20 ticks later an orphan from a foreign branch opens a header round
+  // with dead peer 2.
+  net.run_until(t1 + 20);
+  auto foreign = mined_chain(71, 3);
+  net.send(2, victim.id(),
+           wire_msg(MsgType::kBlock,
+                    mainchain::codec::encode_block(foreign.back())));
+  while (victim.stats().sent(MsgType::kGetHeaders) == 0) {
+    ASSERT_TRUE(net.step());
+  }
+  const SimTime t_header = net.now();
+  const SimTime header_deadline = t_header + victim.sync_config().stall_timeout;
+  ASSERT_GT(header_deadline, t1 + victim.sync_config().stall_timeout);
+
+  // By one tick past the header round's own deadline the retry must be
+  // out. The flat timer would still be sleeping until t1+64.
+  net.run_until(header_deadline + 1);
+  EXPECT_EQ(victim.stats().sent(MsgType::kGetHeaders), 2u);
+  EXPECT_GE(victim.stats().stalled_rerequests, 1u);
+}
+
+TEST(SchedulerRegression, TwoNodeClusterRetriesStalledHeaderRoundNotSelf) {
+  // With only one other node, the retry pick used to fall off the end of
+  // the peer list and address the request to the node itself — a message
+  // nobody answers. The stalled peer must be retried instead.
+  NodeCluster c(73, 2);
+  c.net.partition({{0}, {1}});
+  for (int i = 0; i < 3; ++i) c[0].mine();
+  c.net.run_until_idle();
+  c.net.heal();
+
+  c[0].announce_tip();
+  while (c[1].stats().sent(MsgType::kGetHeaders) == 0) {
+    ASSERT_TRUE(c.net.step());
+  }
+  // Node 0's answer dies on the link; restore it before the stall timer
+  // fires so the retry can succeed.
+  LinkParams dead;
+  dead.drop_num = 1;
+  dead.drop_den = 1;
+  c.net.set_link(0, 1, dead);
+  c.net.run_until(c.net.now() + 8);
+  c.net.set_link(0, 1, c.net.default_link());
+  c.net.run_until_idle();
+
+  EXPECT_EQ(c[1].height(), 3u);
+  EXPECT_EQ(c[1].tip(), c[0].tip());
+  EXPECT_GE(c[1].stats().stalled_rerequests, 1u);
+  // The retry went back to node 0, never to node 1 itself.
+  EXPECT_EQ(c.net.link_stats(1, 1).queued, 0u);
+}
+
 TEST(Scenario, ScriptedPartitionRaceConverges) {
   NodeCluster c(6, 4);
   ScenarioRunner runner(c.net, c.ptrs());
