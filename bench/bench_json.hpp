@@ -13,6 +13,18 @@
 //         "time_unit": "ns", "label": "...", "counters": {"k": v, ...} }
 //     ]
 //   }
+//
+// Counter conventions (the keys a diffing tool can rely on):
+//   - Plain counters are per-iteration averages of simulator-side
+//     quantities: "events" (SimNet events processed), "sim_ticks"
+//     (simulated time consumed), "msgs_delivered", "announce_rounds",
+//     "blocks" / "blocks_connected" (chain blocks connected across all
+//     nodes — useful work, as opposed to gossip amplification).
+//   - Keys ending in "_per_sec" are benchmark::Counter::kIsRate values:
+//     the total divided by wall-clock seconds, e.g. "events_per_sec" is
+//     raw event-loop throughput. Compare rates across commits on the
+//     same hardware only; compare plain counters anywhere (they are
+//     deterministic functions of the seed and scenario).
 #pragma once
 
 #include <benchmark/benchmark.h>

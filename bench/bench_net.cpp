@@ -181,6 +181,98 @@ BENCHMARK(BM_HostilePeerOverhead)
     ->Args({1, 256})
     ->Iterations(3);
 
+void BM_LargeClusterGossip(benchmark::State& state) {
+  // The tentpole sweep: sustained round-robin mining over a fully
+  // connected N-node mesh with tracing off — pure simulator + protocol
+  // throughput. `events_per_sec` prices the event loop (calendar queue,
+  // flat link tables, hash-once payloads); `blocks_connected` separates
+  // useful chain work from gossip amplification, so a relay storm shows
+  // up as events growing without blocks following.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::uint64_t blocks = static_cast<std::uint64_t>(state.range(1));
+  std::uint64_t events = 0, connected = 0, iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(n);
+    cluster.simnet.set_trace_mode(net::TraceMode::kOff);
+    cluster.simnet.set_idle_event_cap(50'000'000);
+    state.ResumeTiming();
+    for (std::uint64_t b = 0; b < blocks; ++b) {
+      cluster.nodes[b % n]->mine();
+      cluster.simnet.run_until_idle();
+    }
+    benchmark::DoNotOptimize(cluster.nodes[n - 1]->tip());
+    state.PauseTiming();
+    events += cluster.simnet.stats().events_processed;
+    for (auto& node : cluster.nodes) connected += node->height();
+    ++iters;
+    state.ResumeTiming();
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events) / iters);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["blocks_connected"] =
+      benchmark::Counter(static_cast<double>(connected) / iters);
+  state.SetLabel("nodes=" + std::to_string(n) +
+                 " blocks=" + std::to_string(blocks));
+}
+BENCHMARK(BM_LargeClusterGossip)
+    ->Args({64, 30})
+    ->Args({128, 30})
+    ->Args({256, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+void BM_PartitionStorm(benchmark::State& state) {
+  // Storm variant: repeated half/half partitions with mining on both
+  // sides, then heal + re-announce. Stresses the ban/override table
+  // churn and the event queue's idle-gap re-anchoring rather than the
+  // steady-state relay path.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kCycles = 4;
+  std::uint64_t events = 0, connected = 0, iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cluster cluster(n);
+    cluster.simnet.set_trace_mode(net::TraceMode::kOff);
+    cluster.simnet.set_idle_event_cap(50'000'000);
+    state.ResumeTiming();
+    for (std::uint64_t cycle = 0; cycle < kCycles; ++cycle) {
+      std::vector<net::NodeId> side_a, side_b;
+      for (net::NodeId id = 0; id < n; ++id) {
+        ((id + cycle) % 2 == 0 ? side_a : side_b).push_back(id);
+      }
+      cluster.simnet.partition({{side_a}, {side_b}});
+      cluster.nodes[side_a[cycle % side_a.size()]]->mine();
+      cluster.nodes[side_b[cycle % side_b.size()]]->mine();
+      cluster.simnet.run_until_idle();
+      cluster.simnet.heal();
+      for (auto& node : cluster.nodes) node->announce_tip();
+      cluster.simnet.run_until_idle();
+    }
+    benchmark::DoNotOptimize(cluster.nodes[n - 1]->tip());
+    state.PauseTiming();
+    events += cluster.simnet.stats().events_processed;
+    for (auto& node : cluster.nodes) connected += node->height();
+    ++iters;
+    state.ResumeTiming();
+  }
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events) / iters);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["blocks_connected"] =
+      benchmark::Counter(static_cast<double>(connected) / iters);
+  state.SetLabel("nodes=" + std::to_string(n) +
+                 " cycles=" + std::to_string(kCycles));
+}
+BENCHMARK(BM_PartitionStorm)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
 }  // namespace
 
 ZENDOO_BENCH_MAIN("net");

@@ -1,0 +1,180 @@
+// Indexed two-level calendar queue for the discrete-event simulator.
+//
+// The simulator's event queue used to be a binary heap
+// (std::priority_queue) over fat event records, which makes every
+// push/pop O(log n) with a cache-hostile sift over ~56-byte elements.
+// Profiles of large-cluster gossip sweeps showed the heap — not the
+// chain behind it — on the critical path, so this replaces it with the
+// classic two-level calendar/bucket structure:
+//
+//  - a ring of kWindow buckets covers the time horizon
+//    [base_, base_ + kWindow); an event at tick `t` inside the horizon
+//    lands in bucket `t & (kWindow - 1)`. Push is O(1) (a vector
+//    push_back), pop is amortized O(1): the cursor `base_` only ever
+//    moves forward, so the total slot-scan cost over a run is bounded by
+//    the simulated time span plus the event count.
+//  - events beyond the horizon (long ban timers, far-future schedules)
+//    overflow into a time-ordered map and migrate into the ring when
+//    `base_` reaches them. Overflow traffic is rare by construction —
+//    link latencies and stall timeouts are tiny next to kWindow.
+//
+// Ordering contract (the part replay determinism hangs on): events pop
+// in nondecreasing `.at`, and events with equal `.at` pop in push order.
+// Because the simulator assigns a monotonically increasing sequence
+// number at push time, "push order within a tick" is exactly the old
+// heap's (time, seq) order — seeded traces are byte-identical across
+// the swap, which tests/net/event_queue_test.cpp checks differentially
+// against a reference heap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace zendoo::net {
+
+/// Two-level calendar queue. `Event` must expose a `std::uint64_t at`
+/// member (the scheduled tick). Events must never be pushed into the
+/// past (at >= the last popped event's tick); the simulator guarantees
+/// this because every schedule is `now + delay` with delay >= 0.
+template <typename Event>
+class CalendarQueue {
+ public:
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void push(Event event) {
+    const std::uint64_t at = event.at;
+    if (size_ == 0) {
+      base_ = at;  // re-anchor: an empty ring can start anywhere
+    } else if (at < base_) {
+      // The anchor landed above this event's tick (the first push of a
+      // burst drew a larger latency than a later one). Lower it — pops
+      // must start at the true minimum.
+      lower_base(at);
+    }
+    ++size_;
+    if (at < base_ + kWindow) {
+      ring_[at & kMask].items.push_back(std::move(event));
+      ++ring_count_;
+      if (at > ring_max_) ring_max_ = at;
+    } else {
+      far_[at].push_back(std::move(event));
+    }
+  }
+
+  /// Tick of the earliest pending event (nullopt when empty).
+  [[nodiscard]] std::optional<std::uint64_t> next_time() {
+    if (size_ == 0) return std::nullopt;
+    settle();
+    return base_;
+  }
+
+  /// Pops the earliest event; same-tick events pop in push order.
+  Event pop() {
+    settle();
+    Bucket& bucket = ring_[base_ & kMask];
+    Event event = std::move(bucket.items[bucket.head++]);
+    --size_;
+    --ring_count_;
+    if (bucket.drained()) bucket.reset();
+    return event;
+  }
+
+ private:
+  /// Ring width; a power of two so the slot index is a mask, wide enough
+  /// that ordinary latencies/timeouts never touch the overflow map.
+  static constexpr std::uint64_t kWindow = 1024;
+  static constexpr std::uint64_t kMask = kWindow - 1;
+
+  struct Bucket {
+    std::vector<Event> items;
+    std::size_t head = 0;  ///< pop cursor — items before it are consumed
+
+    [[nodiscard]] bool drained() const { return head >= items.size(); }
+    void reset() {
+      items.clear();  // keeps capacity for the slot's next occupant
+      head = 0;
+    }
+  };
+
+  /// Lowers base_ to `at`, first evicting any ring bucket whose tick
+  /// would no longer fit the shrunk horizon [at, at + kWindow) back into
+  /// the overflow map (slot aliasing would corrupt FIFO order
+  /// otherwise). The eviction scan is all but unreachable: it needs the
+  /// pending span to exceed kWindow at the moment of a below-anchor
+  /// push, and the simulator's latencies and timer delays are orders of
+  /// magnitude below the window.
+  void lower_base(std::uint64_t at) {
+    if (ring_count_ != 0 && ring_max_ >= at + kWindow) {
+      std::uint64_t new_max = 0;
+      for (Bucket& bucket : ring_) {
+        if (bucket.drained()) continue;
+        const std::uint64_t tick = bucket.items[bucket.head].at;
+        if (tick < at + kWindow) {
+          if (tick > new_max) new_max = tick;
+          continue;
+        }
+        std::vector<Event>& dst = far_[tick];  // no ring tick collides
+        dst.insert(dst.end(),
+                   std::make_move_iterator(bucket.items.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               bucket.head)),
+                   std::make_move_iterator(bucket.items.end()));
+        ring_count_ -= bucket.items.size() - bucket.head;
+        bucket.reset();
+      }
+      ring_max_ = new_max;
+    }
+    base_ = at;
+  }
+
+  /// Moves every overflow bucket whose tick entered the horizon into the
+  /// ring. Overflow events at tick T are always older (smaller sequence)
+  /// than ring events at T — T could only be pushed ring-side after
+  /// base_ advanced past T - kWindow — so migrated events go first.
+  void migrate_into_horizon() {
+    while (!far_.empty() && far_.begin()->first < base_ + kWindow) {
+      auto node = far_.extract(far_.begin());
+      std::vector<Event> src = std::move(node.mapped());
+      const std::size_t migrated = src.size();
+      Bucket& bucket = ring_[node.key() & kMask];
+      if (!bucket.drained()) {
+        src.insert(src.end(),
+                   std::make_move_iterator(bucket.items.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               bucket.head)),
+                   std::make_move_iterator(bucket.items.end()));
+      }
+      bucket.items = std::move(src);
+      bucket.head = 0;
+      ring_count_ += migrated;
+      if (node.key() > ring_max_) ring_max_ = node.key();
+    }
+  }
+
+  /// Advances base_ to the earliest pending tick. Requires size_ > 0.
+  void settle() {
+    if (ring_count_ == 0) base_ = far_.begin()->first;  // jump over the gap
+    migrate_into_horizon();
+    while (ring_[base_ & kMask].drained()) {
+      ring_[base_ & kMask].reset();
+      ++base_;
+      migrate_into_horizon();
+    }
+  }
+
+  std::vector<Bucket> ring_ = std::vector<Bucket>(kWindow);
+  /// Events at ticks >= base_ + kWindow, keyed by tick, push-ordered.
+  std::map<std::uint64_t, std::vector<Event>> far_;
+  std::uint64_t base_ = 0;  ///< earliest tick the ring can currently hold
+  /// Upper bound on the largest tick currently in the ring (meaningful
+  /// only while ring_count_ > 0); lets lower_base skip the eviction scan.
+  std::uint64_t ring_max_ = 0;
+  std::size_t size_ = 0;
+  std::size_t ring_count_ = 0;  ///< pending events inside the ring
+};
+
+}  // namespace zendoo::net

@@ -22,7 +22,7 @@ constexpr std::size_t kMaxLegacyRequested = 256;
 NetNode::NetNode(SimNet& net, mainchain::ChainParams params,
                  const crypto::KeyPair& miner_key, SyncConfig sync)
     : net_(net), engine_(params, miner_key), sync_(sync) {
-  id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
+  id_ = net_.add_node([this](NodeId from, const SimNet::PayloadPtr& p) {
     handle(from, p);
   });
   net_.set_timer_handler(id_, [this](std::uint64_t) { on_stall_timer(); });
@@ -51,7 +51,7 @@ mainchain::Block NetNode::mine() {
   mainchain::Block block = engine_.step();
   stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)] +=
       net_.node_count() - 1;
-  net_.broadcast(id_, encode_block_msg(block));
+  net_.broadcast(id_, block_payload(block));
   return block;
 }
 
@@ -62,17 +62,62 @@ void NetNode::announce_tip() {
   const mainchain::Block* tip_block = chain().find_block(tip());
   stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)] +=
       net_.node_count() - 1;
-  net_.broadcast(id_, encode_block_msg(*tip_block));
+  net_.broadcast(id_, block_payload(*tip_block));
 }
 
-void NetNode::relay_block(NodeId origin, std::vector<std::uint8_t> wire) {
-  // One buffer shared across the whole fan-out.
-  auto shared =
-      std::make_shared<const std::vector<std::uint8_t>>(std::move(wire));
+SimNet::PayloadPtr NetNode::block_payload(const mainchain::Block& block) {
+  const crypto::Digest hash = block.hash();
+  if (auto it = encoded_cache_.find(hash); it != encoded_cache_.end()) {
+    ++stats_.encode_cache_hits;
+    encoded_lru_.splice(encoded_lru_.begin(), encoded_lru_, it->second.pos);
+    return it->second.payload;
+  }
+  ++stats_.encode_cache_misses;
+  auto payload = net_.make_payload(encode_block_msg(block));
+  cache_block_payload(hash, payload);
+  return payload;
+}
+
+void NetNode::cache_block_payload(const crypto::Digest& hash,
+                                  SimNet::PayloadPtr payload) {
+  if (auto it = encoded_cache_.find(hash); it != encoded_cache_.end()) {
+    encoded_lru_.splice(encoded_lru_.begin(), encoded_lru_, it->second.pos);
+    return;
+  }
+  encoded_lru_.push_front(hash);
+  encoded_cache_.emplace(hash,
+                         CachedPayload{std::move(payload),
+                                       encoded_lru_.begin()});
+  if (encoded_cache_.size() > kEncodedCacheCap) {
+    encoded_cache_.erase(encoded_lru_.back());
+    encoded_lru_.pop_back();
+  }
+}
+
+void NetNode::note_wire(const crypto::Digest& wire_hash,
+                        const crypto::Digest& block_hash,
+                        const crypto::Digest& prev_hash) {
+  if (auto it = seen_wire_.find(wire_hash); it != seen_wire_.end()) {
+    seen_wire_lru_.splice(seen_wire_lru_.begin(), seen_wire_lru_,
+                          it->second.pos);
+    return;
+  }
+  seen_wire_lru_.push_front(wire_hash);
+  seen_wire_.emplace(wire_hash,
+                     WireInfo{block_hash, prev_hash, seen_wire_lru_.begin()});
+  if (seen_wire_.size() > kSeenWireCap) {
+    seen_wire_.erase(seen_wire_lru_.back());
+    seen_wire_lru_.pop_back();
+  }
+}
+
+void NetNode::relay_block(NodeId origin, const SimNet::PayloadPtr& payload) {
+  // Zero-copy fan-out: every send shares the deliverer's buffer (and its
+  // precomputed digest).
   for (NodeId to = 0; to < net_.node_count(); ++to) {
     if (to != id_ && to != origin) {
       ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
-      net_.send(id_, to, shared);
+      net_.send(id_, to, payload);
     }
   }
   ++stats_.blocks_relayed;
@@ -106,6 +151,7 @@ bool NetNode::peer_banned(NodeId peer) {
   if (st.banned && net_.now() >= st.banned_until) {
     st.banned = false;
     st.score = 0;  // served the ban; start from a clean slate
+    st.score_decayed_at = net_.now();
   }
   return st.banned;
 }
@@ -166,9 +212,22 @@ void NetNode::sweep_orphan_suspects() {
   }
 }
 
+void NetNode::decay_score(PeerState& st) {
+  const SimTime half_life = sync_.dos.score_half_life;
+  if (half_life == 0) return;
+  const SimTime elapsed = net_.now() - st.score_decayed_at;
+  const SimTime steps = elapsed / half_life;
+  if (steps == 0) return;
+  st.score = steps >= 31 ? 0 : st.score >> steps;
+  st.score_decayed_at += steps * half_life;
+}
+
 void NetNode::misbehave(NodeId peer, int penalty) {
   if (!sync_.dos.enabled || penalty <= 0) return;
   PeerState& st = peer_ref(peer);
+  // Halve whatever is left of past offenses before charging the new one:
+  // spaced-out honest noise decays away, a concentrated burst does not.
+  decay_score(st);
   ++stats_.dos_events;
   st.score += penalty;
   if (!st.banned && st.score >= sync_.dos.ban_threshold) ban_peer(peer);
@@ -204,7 +263,7 @@ void NetNode::ban_peer(NodeId peer) {
   }
 }
 
-void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
+void NetNode::handle(NodeId from, const SimNet::PayloadPtr& payload) {
   // Judge due orphan suspects on every delivery so charges land promptly
   // under load (the stall timer is the quiet-network fallback) — and
   // before the ban check, so a flooder's own next message can be the one
@@ -213,12 +272,13 @@ void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
   // SimNet refuses banned traffic at delivery time; this guard covers
   // tests driving the handler directly and same-tick races around a ban.
   if (peer_banned(from)) return;
-  if (payload.empty()) {
+  const std::span<const std::uint8_t> bytes(payload->bytes);
+  if (bytes.empty()) {
     note_malformed(from);
     return;
   }
-  auto body = payload.subspan(1);
-  const auto tag = static_cast<MsgType>(payload.front());
+  auto body = bytes.subspan(1);
+  const auto tag = static_cast<MsgType>(bytes.front());
   switch (tag) {
     case MsgType::kBlock:
     case MsgType::kGetBlock:
@@ -234,7 +294,7 @@ void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
       return;
   }
   switch (tag) {
-    case MsgType::kBlock: on_block(from, body); return;
+    case MsgType::kBlock: on_block(from, payload, body); return;
     case MsgType::kGetBlock: on_get_block(from, body); return;
     case MsgType::kGetHeaders: on_get_headers(from, body); return;
     case MsgType::kHeaders: on_headers(from, body); return;
@@ -243,7 +303,44 @@ void NetNode::handle(NodeId from, std::span<const std::uint8_t> payload) {
   }
 }
 
-void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
+void NetNode::on_block(NodeId from, const SimNet::PayloadPtr& payload,
+                       std::span<const std::uint8_t> body) {
+  // Flood dedup fast path: a buffer we already decoded is recognized by
+  // the digest the simulator computed at send time. If what it carried
+  // is a known block (stored or orphan-resident), the submit path below
+  // would be a guaranteed kDuplicate no-op — short-circuit it, doing
+  // exactly the bookkeeping the slow path would have done.
+  if (auto wire_it = seen_wire_.find(payload->hash);
+      wire_it != seen_wire_.end()) {
+    const crypto::Digest known_hash = wire_it->second.block_hash;
+    const crypto::Digest known_prev = wire_it->second.prev_hash;
+    const bool stored = chain().find_block(known_hash) != nullptr;
+    if (stored || chain().has_orphan(known_hash)) {
+      seen_wire_lru_.splice(seen_wire_lru_.begin(), seen_wire_lru_,
+                            wire_it->second.pos);
+      ++stats_.wire_dedup_hits;
+      if (auto it = in_flight_.find(known_hash); it != in_flight_.end()) {
+        ++stats_.blocks_downloaded;
+        if (it->second.peer < peer_in_flight_.size()) {
+          --peer_in_flight_[it->second.peer];
+        }
+        in_flight_.erase(it);
+      }
+      legacy_requested_.erase(known_hash);
+      ++stats_.duplicates;
+      if (!stored) {
+        // Orphan-resident: the request for its parent (or its answer)
+        // may have been lost — re-arm sync, same as the slow path.
+        if (sync_.mode == SyncMode::kHeadersFirst) {
+          on_disconnected_block(from, known_prev);
+        } else {
+          request_block(from, known_prev);
+        }
+      }
+      return;
+    }
+  }
+
   mainchain::Block block;
   try {
     block = mainchain::codec::decode_block(body);
@@ -255,6 +352,7 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
   // A body we explicitly asked for frees its download slot — whoever
   // actually delivered it (the assigned peer or a faster flood).
   const crypto::Digest hash = block.hash();
+  note_wire(payload->hash, hash, block.header.prev_hash);
   bool requested = false;
   if (auto it = in_flight_.find(hash); it != in_flight_.end()) {
     requested = true;
@@ -272,15 +370,13 @@ void NetNode::on_block(NodeId from, std::span<const std::uint8_t> body) {
     case SubmitCode::kAccepted:
       ++stats_.blocks_received;
       frontier_attempts_ = 0;  // progress: the retry pump starts fresh
+      // The wire bytes just passed full validation as this block: later
+      // kGetData answers can serve them verbatim instead of re-encoding.
+      cache_block_payload(hash, payload);
       // Flood unsolicited news onward; solicited downloads are catch-up
       // traffic the rest of the network already has, so re-flooding them
       // would only multiply duplicates.
-      if (!requested) {
-        std::vector<std::uint8_t> wire{
-            static_cast<std::uint8_t>(MsgType::kBlock)};
-        wire.insert(wire.end(), body.begin(), body.end());
-        relay_block(from, std::move(wire));
-      }
+      if (!requested) relay_block(from, payload);
       if (sync_.mode == SyncMode::kHeadersFirst) schedule_downloads();
       return;
     case SubmitCode::kOrphaned:
@@ -358,7 +454,7 @@ void NetNode::on_get_block(NodeId from,
   if (block == nullptr) return;  // don't have it; requester re-syncs later
   ++stats_.get_block_served;
   ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
-  net_.send(id_, from, encode_block_msg(*block));
+  net_.send(id_, from, block_payload(*block));
 }
 
 void NetNode::on_get_headers(NodeId from,
@@ -470,7 +566,7 @@ void NetNode::on_get_data(NodeId from, std::span<const std::uint8_t> body) {
     }
     ++stats_.get_data_served;
     ++stats_.msgs_sent[static_cast<std::size_t>(MsgType::kBlock)];
-    net_.send(id_, from, encode_block_msg(*block));
+    net_.send(id_, from, block_payload(*block));
   }
   // Tell the requester what we could not serve: a silent skip would cost
   // it a full stall timeout before trying another peer.

@@ -19,8 +19,10 @@
 
 #include <array>
 #include <deque>
+#include <list>
 #include <map>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -100,6 +102,13 @@ struct DosConfig {
   /// kGetData lists above this length are refused and scored — honest
   /// requesters never ask for more than their own in-flight cap.
   std::size_t max_get_data = 256;
+  /// Misbehavior scores halve every this many ticks (zen's periodic
+  /// decay), applied lazily when a peer is next scored — a long-lived
+  /// honest-but-flaky peer stops ratcheting toward a ban once its
+  /// offenses spread out. Deliberately much longer than any one attack
+  /// burst (which spans tens of ticks), so concentrated abuse still
+  /// bans at full speed. 0 disables decay.
+  SimTime score_half_life = 16'384;
 };
 
 /// Per-peer accounting: misbehavior score, ban state, and the offense
@@ -107,6 +116,8 @@ struct DosConfig {
 /// Stats::rejected plus per-MsgType received counts).
 struct PeerState {
   int score = 0;
+  /// Tick up to which score decay has been applied (lazy halving).
+  SimTime score_decayed_at = 0;
   bool banned = false;
   SimTime banned_until = 0;
   std::uint64_t bans = 0;       ///< times this peer crossed the threshold
@@ -200,6 +211,11 @@ class NetNode {
     std::uint64_t reorgs = 0;
     std::uint64_t dos_events = 0;    ///< misbehavior penalties applied
     std::uint64_t peers_banned = 0;  ///< ban decisions taken (re-bans count)
+    std::uint64_t encode_cache_hits = 0;    ///< blocks served without encode
+    std::uint64_t encode_cache_misses = 0;  ///< blocks encoded (and cached)
+    /// Duplicate deliveries short-circuited by the wire digest before
+    /// the codec ran — the flood-relay dedup fast path.
+    std::uint64_t wire_dedup_hits = 0;
 
     /// Wire traffic by MsgType tag (index = raw tag value, 0 unused).
     std::array<std::uint64_t, kMsgTypeCount> msgs_sent{};
@@ -232,8 +248,9 @@ class NetNode {
     std::uint32_t attempts = 1;
   };
 
-  void handle(NodeId from, std::span<const std::uint8_t> payload);
-  void on_block(NodeId from, std::span<const std::uint8_t> body);
+  void handle(NodeId from, const SimNet::PayloadPtr& payload);
+  void on_block(NodeId from, const SimNet::PayloadPtr& payload,
+                std::span<const std::uint8_t> body);
   void on_get_block(NodeId from, std::span<const std::uint8_t> body);
   void on_get_headers(NodeId from, std::span<const std::uint8_t> body);
   void on_headers(NodeId from, std::span<const std::uint8_t> body);
@@ -276,6 +293,9 @@ class NetNode {
 
   /// Mutable per-peer state, growing the table on first contact.
   PeerState& peer_ref(NodeId peer);
+  /// Applies the lazy periodic score halving (DosConfig::score_half_life)
+  /// to `st` up to the current tick.
+  void decay_score(PeerState& st);
   /// Books an undecodable payload / unknown tag against `from`.
   void note_malformed(NodeId from);
   /// Files an unsolicited parent-less block into the suspect table and
@@ -292,10 +312,27 @@ class NetNode {
   /// header round away from it.
   void ban_peer(NodeId peer);
 
-  void relay_block(NodeId origin, std::vector<std::uint8_t> wire);
+  /// Re-floods an accepted payload to every peer but the deliverer —
+  /// zero-copy: all fan-out sends share the deliverer's buffer.
+  void relay_block(NodeId origin, const SimNet::PayloadPtr& payload);
   void request_block(NodeId from, const crypto::Digest& hash);
   void send_msg(NodeId to, MsgType type,
                 const std::vector<std::uint8_t>& body);
+  /// The kBlock wire payload for `block`, served from the encoded-block
+  /// LRU when possible so answering N peers encodes (and hashes) once.
+  SimNet::PayloadPtr block_payload(const mainchain::Block& block);
+  /// Inserts an already-materialized kBlock payload into the encoded
+  /// cache (e.g. the wire bytes of a block we just accepted, which later
+  /// kGetData answers can serve without re-encoding). Only validated
+  /// blocks may be cached: the bytes must decode to the block named by
+  /// `hash`.
+  void cache_block_payload(const crypto::Digest& hash,
+                           SimNet::PayloadPtr payload);
+  /// Remembers what a decoded kBlock wire buffer contained, keyed by the
+  /// buffer's digest, so flood duplicates skip the codec entirely.
+  void note_wire(const crypto::Digest& wire_hash,
+                 const crypto::Digest& block_hash,
+                 const crypto::Digest& prev_hash);
   static std::vector<std::uint8_t> encode_block_msg(
       const mainchain::Block& block);
 
@@ -304,6 +341,32 @@ class NetNode {
   NodeId id_;
   SyncConfig sync_;
   Stats stats_;
+
+  /// Content-addressed encoded-block cache: block hash -> shared kBlock
+  /// wire payload, LRU-evicted. Sized to cover a catch-up window (peers
+  /// request recent bodies) without holding a whole chain's encodings.
+  static constexpr std::size_t kEncodedCacheCap = 64;
+  struct CachedPayload {
+    SimNet::PayloadPtr payload;
+    std::list<crypto::Digest>::iterator pos;  ///< position in encoded_lru_
+  };
+  std::unordered_map<crypto::Digest, CachedPayload, crypto::DigestHash>
+      encoded_cache_;
+  std::list<crypto::Digest> encoded_lru_;  ///< most recent first
+
+  /// Wire-digest dedup: digest of a decoded kBlock buffer -> what it
+  /// contained. A flood delivers the same buffer from many peers; after
+  /// the first decode the rest are recognized by the payload digest the
+  /// simulator already computed, skipping the codec (and, for known
+  /// blocks, the whole submit path).
+  static constexpr std::size_t kSeenWireCap = 256;
+  struct WireInfo {
+    crypto::Digest block_hash;
+    crypto::Digest prev_hash;
+    std::list<crypto::Digest>::iterator pos;  ///< position in seen_wire_lru_
+  };
+  std::unordered_map<crypto::Digest, WireInfo, crypto::DigestHash> seen_wire_;
+  std::list<crypto::Digest> seen_wire_lru_;  ///< most recent first
 
   /// Requested bodies awaiting an answer, by block hash.
   std::unordered_map<crypto::Digest, InFlight, crypto::DigestHash> in_flight_;

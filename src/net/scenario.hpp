@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <variant>
 
@@ -63,8 +64,8 @@ struct NodeCluster {
 class AdversaryNode {
  public:
   explicit AdversaryNode(SimNet& net) : net_(net) {
-    id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
-      on_message(from, p);
+    id_ = net_.add_node([this](NodeId from, const SimNet::PayloadPtr& p) {
+      on_message(from, std::span<const std::uint8_t>(p->bytes));
     });
   }
   virtual ~AdversaryNode() = default;

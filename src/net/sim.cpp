@@ -6,13 +6,9 @@ namespace zendoo::net {
 
 namespace {
 
-std::uint64_t pair_key(NodeId a, NodeId b) {
-  if (a > b) std::swap(a, b);
-  return (std::uint64_t{a} << 32) | b;
-}
-
-std::uint64_t directed_key(NodeId from, NodeId to) {
-  return (std::uint64_t{from} << 32) | to;
+/// Normalized (min, max) order for symmetric tables (links, bans).
+std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+  return a <= b ? std::pair{a, b} : std::pair{b, a};
 }
 
 }  // namespace
@@ -21,6 +17,9 @@ NodeId SimNet::add_node(Handler handler) {
   handlers_.push_back(std::move(handler));
   timer_handlers_.emplace_back();
   if (!group_of_.empty()) group_of_.push_back(0);
+  link_overrides_.ensure_nodes(handlers_.size());
+  link_stats_.ensure_nodes(handlers_.size());
+  bans_.ensure_nodes(handlers_.size());
   return static_cast<NodeId>(handlers_.size() - 1);
 }
 
@@ -47,17 +46,16 @@ void SimNet::set_timer(NodeId id, SimTime delay, std::uint64_t token) {
 }
 
 SimNet::LinkStats SimNet::link_stats(NodeId from, NodeId to) const {
-  auto it = link_stats_.find(directed_key(from, to));
-  return it == link_stats_.end() ? LinkStats{} : it->second;
+  const LinkStats* stats = link_stats_.find(from, to);
+  return stats == nullptr ? LinkStats{} : *stats;
 }
 
 void SimNet::set_link(NodeId a, NodeId b, const LinkParams& link) {
-  link_overrides_[pair_key(a, b)] = link;
-}
-
-const LinkParams& SimNet::link_between(NodeId a, NodeId b) const {
-  auto it = link_overrides_.find(pair_key(a, b));
-  return it == link_overrides_.end() ? default_link_ : it->second;
+  if (a >= handlers_.size() || b >= handlers_.size()) {
+    throw std::out_of_range("SimNet::set_link: unknown node id");
+  }
+  const auto [lo, hi] = ordered(a, b);
+  link_overrides_.slot(lo, hi) = link;
 }
 
 void SimNet::partition(const std::vector<std::vector<NodeId>>& groups) {
@@ -80,19 +78,31 @@ void SimNet::set_ban(NodeId banner, NodeId banned, SimTime until) {
   if (banner >= handlers_.size() || banned >= handlers_.size()) {
     throw std::out_of_range("SimNet::set_ban: unknown node id");
   }
-  SimTime& deadline = bans_[pair_key(banner, banned)];
+  const auto [lo, hi] = ordered(banner, banned);
+  SimTime& deadline = bans_.slot(lo, hi);
   if (until > deadline) deadline = until;
 }
 
 bool SimNet::ban_active(NodeId a, NodeId b) const {
-  auto it = bans_.find(pair_key(a, b));
-  return it != bans_.end() && now_ < it->second;
+  const auto [lo, hi] = ordered(a, b);
+  const SimTime* deadline = bans_.find(lo, hi);
+  return deadline != nullptr && now_ < *deadline;
 }
 
-void SimNet::schedule(
-    NodeId from, NodeId to,
-    std::shared_ptr<const std::vector<std::uint8_t>> payload) {
-  const LinkParams& link = link_between(from, to);
+SimNet::PayloadPtr SimNet::make_payload(std::vector<std::uint8_t> bytes) {
+  auto payload = std::make_shared<Payload>();
+  payload->hash =
+      crypto::Hasher(crypto::Domain::kGeneric).write_bytes(bytes).finalize();
+  stats_.bytes_queued += bytes.size();
+  payload->bytes = std::move(bytes);
+  return payload;
+}
+
+void SimNet::schedule(NodeId from, NodeId to, PayloadPtr payload) {
+  const auto [lo, hi] = ordered(from, to);
+  const LinkParams* override_link = link_overrides_.find(lo, hi);
+  const LinkParams& link =
+      override_link != nullptr ? *override_link : default_link_;
   Pending msg;
   msg.at = now_ + link.latency_min +
            (link.latency_max > link.latency_min
@@ -104,17 +114,15 @@ void SimNet::schedule(
   msg.payload = std::move(payload);
   msg.dropped = link.drop_num != 0 && rng_.chance(link.drop_num, link.drop_den);
   ++stats_.sent;
-  ++link_stats_[directed_key(from, to)].queued;
+  ++link_stats_.slot(from, to).queued;
   queue_.push(std::move(msg));
 }
 
 void SimNet::send(NodeId from, NodeId to, std::vector<std::uint8_t> payload) {
-  send(from, to,
-       std::make_shared<const std::vector<std::uint8_t>>(std::move(payload)));
+  send(from, to, make_payload(std::move(payload)));
 }
 
-void SimNet::send(NodeId from, NodeId to,
-                  std::shared_ptr<const std::vector<std::uint8_t>> payload) {
+void SimNet::send(NodeId from, NodeId to, PayloadPtr payload) {
   if (from >= handlers_.size() || to >= handlers_.size()) {
     throw std::out_of_range("SimNet::send: unknown node id");
   }
@@ -122,11 +130,63 @@ void SimNet::send(NodeId from, NodeId to,
   schedule(from, to, std::move(payload));
 }
 
-void SimNet::broadcast(NodeId from,
-                       const std::vector<std::uint8_t>& payload) {
-  auto shared = std::make_shared<const std::vector<std::uint8_t>>(payload);
+void SimNet::broadcast(NodeId from, const std::vector<std::uint8_t>& payload) {
+  broadcast(from, make_payload(payload));
+}
+
+void SimNet::broadcast(NodeId from, const PayloadPtr& payload) {
   for (NodeId to = 0; to < handlers_.size(); ++to) {
-    if (to != from) schedule(from, to, shared);
+    if (to != from) schedule(from, to, payload);
+  }
+}
+
+crypto::Digest SimNet::trace_digest_seed() {
+  return crypto::Hasher(crypto::Domain::kGeneric)
+      .write_str("simnet-trace")
+      .finalize();
+}
+
+crypto::Digest SimNet::fold_trace_entry(const crypto::Digest& acc,
+                                        const TraceEntry& entry) {
+  return crypto::Hasher(crypto::Domain::kGeneric)
+      .write(acc)
+      .write_u64(entry.time)
+      .write_u64(entry.seq)
+      .write_u64(entry.from)
+      .write_u64(entry.to)
+      .write(entry.payload_hash)
+      .write_u8(static_cast<std::uint8_t>(entry.outcome))
+      .finalize();
+}
+
+crypto::Digest SimNet::digest_of(const std::vector<TraceEntry>& trace) {
+  crypto::Digest acc = trace_digest_seed();
+  for (const TraceEntry& entry : trace) acc = fold_trace_entry(acc, entry);
+  return acc;
+}
+
+crypto::Digest SimNet::trace_digest() const {
+  switch (trace_mode_) {
+    case TraceMode::kFull:
+      return digest_of(trace_);
+    case TraceMode::kDigest:
+      return rolling_digest_;
+    case TraceMode::kOff:
+      break;
+  }
+  return trace_digest_seed();
+}
+
+void SimNet::record(const TraceEntry& entry) {
+  switch (trace_mode_) {
+    case TraceMode::kFull:
+      trace_.push_back(entry);
+      break;
+    case TraceMode::kDigest:
+      rolling_digest_ = fold_trace_entry(rolling_digest_, entry);
+      break;
+    case TraceMode::kOff:
+      break;
   }
 }
 
@@ -140,15 +200,13 @@ void SimNet::deliver(const Pending& msg) {
     if (timer_handlers_[msg.to]) timer_handlers_[msg.to](msg.token);
     return;
   }
-  LinkStats& link = link_stats_[directed_key(msg.from, msg.to)];
+  LinkStats& link = link_stats_.slot(msg.from, msg.to);
   TraceEntry entry;
   entry.time = msg.at;
   entry.seq = msg.seq;
   entry.from = msg.from;
   entry.to = msg.to;
-  entry.payload_hash = crypto::Hasher(crypto::Domain::kGeneric)
-                           .write_bytes(*msg.payload)
-                           .finalize();
+  entry.payload_hash = msg.payload->hash;
   if (msg.dropped) {
     entry.outcome = TraceEntry::Outcome::kDropped;
     ++stats_.dropped;
@@ -169,30 +227,35 @@ void SimNet::deliver(const Pending& msg) {
     ++stats_.delivered;
     ++link.delivered;
   }
-  trace_.push_back(entry);
+  record(entry);
   if (entry.outcome == TraceEntry::Outcome::kDelivered) {
-    handlers_[msg.to](msg.from, std::span<const std::uint8_t>(*msg.payload));
+    handlers_[msg.to](msg.from, msg.payload);
   }
 }
 
 bool SimNet::step() {
   if (queue_.empty()) return false;
-  Pending msg = queue_.top();
-  queue_.pop();
+  Pending msg = queue_.pop();
   now_ = msg.at;
+  ++stats_.events_processed;
   deliver(msg);
   return true;
 }
 
 void SimNet::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().at <= t) step();
+  while (true) {
+    const std::optional<SimTime> next = queue_.next_time();
+    if (!next || *next > t) break;
+    step();
+  }
   if (now_ < t) now_ = t;
 }
 
 std::size_t SimNet::run_until_idle(std::size_t max_events) {
+  const std::size_t cap = max_events == 0 ? idle_event_cap_ : max_events;
   std::size_t processed = 0;
   while (step()) {
-    if (++processed > max_events) {
+    if (++processed > cap) {
       throw std::runtime_error("SimNet: gossip did not quiesce");
     }
   }

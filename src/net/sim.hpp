@@ -8,18 +8,32 @@
 // from one seeded Rng. Two runs from the same seed therefore produce the
 // byte-identical delivery trace, which is what lets randomized
 // convergence tests print a reproducing seed instead of a flake.
+//
+// The internals are shaped for clusters of hundreds of nodes:
+//  - the event queue is an indexed calendar queue (event_queue.hpp) that
+//    pops in the exact (time, seq) order the old binary heap did, at
+//    amortized O(1) per event;
+//  - link parameters, per-link stats and ban deadlines live in flat
+//    dense per-node tables (pair_table.hpp) — one multiply and one load
+//    on the send/deliver path instead of a hash-map probe;
+//  - payloads are hashed exactly once, when the buffer is materialized
+//    (make_payload): a broadcast to N peers shares one refcounted
+//    buffer+digest record instead of hashing the same bytes N times at
+//    delivery;
+//  - trace recording is a mode: kFull keeps the historical
+//    vector<TraceEntry>, kDigest folds every entry into a rolling digest
+//    (replay-identity checks at O(1) memory), kOff records nothing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "crypto/hash.hpp"
 #include "crypto/rng.hpp"
+#include "net/event_queue.hpp"
+#include "net/pair_table.hpp"
 
 namespace zendoo::net {
 
@@ -58,15 +72,33 @@ struct TraceEntry {
   friend bool operator==(const TraceEntry&, const TraceEntry&) = default;
 };
 
+/// How much of the delivery trace the simulator retains.
+enum class TraceMode : std::uint8_t {
+  kFull,    ///< every TraceEntry, in a vector (historical behavior)
+  kDigest,  ///< O(1) memory: a rolling digest over the entries
+  kOff,     ///< nothing — large sweeps that only care about stats
+};
+
 class SimNet {
  public:
-  /// Called on the receiving node for each delivered message.
-  using Handler =
-      std::function<void(NodeId from, std::span<const std::uint8_t> payload)>;
+  /// One materialized wire buffer plus its digest, shared by every
+  /// delivery that carries it. The digest is computed exactly once, in
+  /// make_payload — a broadcast fan-out reuses it N times.
+  struct Payload {
+    std::vector<std::uint8_t> bytes;
+    crypto::Digest hash;
+  };
+  using PayloadPtr = std::shared_ptr<const Payload>;
+
+  /// Called on the receiving node for each delivered message. The
+  /// payload record carries both the bytes and their precomputed digest,
+  /// so receivers can dedup or re-relay without copying or re-hashing.
+  using Handler = std::function<void(NodeId from, const PayloadPtr& payload)>;
   /// Called on a node when one of its timers fires.
   using TimerHandler = std::function<void(std::uint64_t token)>;
 
-  explicit SimNet(std::uint64_t seed) : rng_(seed) {}
+  explicit SimNet(std::uint64_t seed)
+      : rng_(seed), rolling_digest_(trace_digest_seed()) {}
 
   /// Registers a node; ids are dense and assigned in call order.
   NodeId add_node(Handler handler);
@@ -111,13 +143,20 @@ class SimNet {
   /// True while a ban between the pair covers the current tick.
   [[nodiscard]] bool ban_active(NodeId a, NodeId b) const;
 
+  /// Materializes a shared payload record, hashing the bytes once. Every
+  /// later send of the returned pointer reuses both buffer and digest —
+  /// Stats::bytes_queued counts the bytes here, at materialization, so a
+  /// fan-out sharing one buffer counts it exactly once.
+  PayloadPtr make_payload(std::vector<std::uint8_t> bytes);
+
   /// Schedules a message; delivery happens at now + link latency.
   void send(NodeId from, NodeId to, std::vector<std::uint8_t> payload);
-  /// Same, sharing one payload buffer across many sends (relay fan-out).
-  void send(NodeId from, NodeId to,
-            std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  /// Same, sharing one payload record across many sends (relay fan-out).
+  void send(NodeId from, NodeId to, PayloadPtr payload);
   /// Sends to every other node (ascending id order, deterministic).
   void broadcast(NodeId from, const std::vector<std::uint8_t>& payload);
+  /// Broadcast of an already-materialized shared payload.
+  void broadcast(NodeId from, const PayloadPtr& payload);
 
   [[nodiscard]] SimTime now() const { return now_; }
   /// Delivers the next scheduled event. Returns false when idle.
@@ -125,14 +164,39 @@ class SimNet {
   /// Delivers every event scheduled at or before `t`; now() ends at `t`.
   void run_until(SimTime t);
   /// Drains the queue (handlers may keep scheduling); returns events
-  /// processed. Throws std::runtime_error past `max_events` — a gossip
-  /// storm that never quiesces is a bug, not a workload.
-  std::size_t run_until_idle(std::size_t max_events = 1'000'000);
+  /// processed. Throws std::runtime_error past the cap — a gossip storm
+  /// that never quiesces is a bug, not a workload. `max_events == 0`
+  /// uses the configured default (set_idle_event_cap, one million out of
+  /// the box); large-cluster sweeps raise it explicitly.
+  std::size_t run_until_idle(std::size_t max_events = 0);
+  /// Default event cap for run_until_idle calls that don't pass one.
+  void set_idle_event_cap(std::size_t cap) { idle_event_cap_ = cap; }
+  [[nodiscard]] std::size_t idle_event_cap() const { return idle_event_cap_; }
 
-  /// Full delivery trace since construction, for replay-identity checks.
+  /// Selects how deliveries are recorded. Call before traffic starts:
+  /// switching modes mid-run neither rebuilds the vector nor replays the
+  /// rolling digest, so each mode only covers the events recorded while
+  /// it was active.
+  void set_trace_mode(TraceMode mode) { trace_mode_ = mode; }
+  [[nodiscard]] TraceMode trace_mode() const { return trace_mode_; }
+
+  /// Full delivery trace since construction (kFull mode only; empty in
+  /// kDigest/kOff), for replay-identity checks.
   [[nodiscard]] const std::vector<TraceEntry>& trace() const {
     return trace_;
   }
+
+  /// Digest of the delivery trace: in kDigest mode the rolling digest
+  /// maintained per event; in kFull mode digest_of(trace()) computed on
+  /// demand — the two agree for identical event streams, which is what
+  /// lets a 256-node sweep assert replay identity without storing a
+  /// multi-million-entry vector. In kOff mode, the fold seed.
+  [[nodiscard]] crypto::Digest trace_digest() const;
+  /// The fold digest_of computes: seed, then one fold step per entry.
+  static crypto::Digest digest_of(const std::vector<TraceEntry>& trace);
+  static crypto::Digest trace_digest_seed();
+  static crypto::Digest fold_trace_entry(const crypto::Digest& acc,
+                                         const TraceEntry& entry);
 
   struct Stats {
     std::uint64_t sent = 0;
@@ -142,6 +206,12 @@ class SimNet {
     std::uint64_t banned = 0;  ///< refused because of an active ban
     std::uint64_t timers_set = 0;
     std::uint64_t timers_fired = 0;
+    /// Events (messages + timers) processed by step().
+    std::uint64_t events_processed = 0;
+    /// Payload bytes materialized (make_payload). A fan-out that shares
+    /// one buffer counts it once — this is the counter that proves a
+    /// broadcast queues the buffer once, not per receiver.
+    std::uint64_t bytes_queued = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -164,39 +234,36 @@ class SimNet {
     std::uint64_t seq = 0;  ///< send order, breaks same-tick ties
     NodeId from = 0;
     NodeId to = 0;
-    /// Shared so a broadcast does not copy the payload per receiver.
-    std::shared_ptr<const std::vector<std::uint8_t>> payload;
+    /// Shared so a broadcast does not copy or re-hash per receiver.
+    PayloadPtr payload;
     bool dropped = false;   ///< lost to the drop model (decided at send)
     bool is_timer = false;  ///< local timer event (no payload, no loss)
     std::uint64_t token = 0;  ///< opaque value for the timer handler
   };
-  struct LaterFirst {
-    bool operator()(const Pending& a, const Pending& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
 
-  [[nodiscard]] const LinkParams& link_between(NodeId a, NodeId b) const;
-  void schedule(NodeId from, NodeId to,
-                std::shared_ptr<const std::vector<std::uint8_t>> payload);
+  void schedule(NodeId from, NodeId to, PayloadPtr payload);
   void deliver(const Pending& msg);
+  void record(const TraceEntry& entry);
 
   crypto::Rng rng_;
   std::vector<Handler> handlers_;
   std::vector<TimerHandler> timer_handlers_;
   LinkParams default_link_;
-  /// Key: (min(a,b) << 32) | max(a,b).
-  std::unordered_map<std::uint64_t, LinkParams> link_overrides_;
-  /// Key: (from << 32) | to — directed, unlike link_overrides_.
-  std::unordered_map<std::uint64_t, LinkStats> link_stats_;
+  /// Symmetric override table, keyed (min, max).
+  PairTable<LinkParams> link_overrides_;
+  /// Directed per-link stats, keyed (from, to).
+  PairTable<LinkStats> link_stats_;
+  /// Active ban expiry ticks, keyed (min, max).
+  PairTable<SimTime> bans_;
   /// Empty = fully connected; else group_of_[id] labels the partition.
   std::vector<std::uint32_t> group_of_;
-  /// Active bans by unordered pair key; value = expiry tick.
-  std::unordered_map<std::uint64_t, SimTime> bans_;
-  std::priority_queue<Pending, std::vector<Pending>, LaterFirst> queue_;
+  CalendarQueue<Pending> queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  TraceMode trace_mode_ = TraceMode::kFull;
   std::vector<TraceEntry> trace_;
+  crypto::Digest rolling_digest_;
+  std::size_t idle_event_cap_ = 1'000'000;
   Stats stats_;
 };
 

@@ -1,0 +1,153 @@
+// Golden-trace equivalence: the event-queue/payload refactor of the
+// simulator must not move a single delivery. These digests were
+// captured from the pre-refactor binary (binary-heap event queue,
+// per-delivery hashing, hash-map link tables) over the same seeded
+// scenarios; any reordering, re-hash or dropped/extra event changes
+// the fold and fails the suite with the offending seed.
+//
+// Also pinned here: the kDigest trace mode's rolling digest equals the
+// fold of the kFull trace (so O(1)-memory runs assert the same
+// equivalences), and traces are strictly (time, seq)-ordered.
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+
+namespace zendoo {
+namespace {
+
+using crypto::Digest;
+using crypto::Domain;
+using crypto::Hasher;
+using net::NetNode;
+using net::ScenarioRunner;
+using net::SimNet;
+
+struct GoldenDigest {
+  std::uint64_t seed;
+  const char* hex;
+};
+
+// Captured from the pre-refactor simulator (PR 8 tree) — see the
+// header comment. Regenerate only if the *scenario* changes, never to
+// absorb a simulator behaviour change.
+constexpr GoldenDigest kConvergenceGolden[] = {
+    {1, "d591d119c47cdcc4125065d81af997a8b10d7f550275e7e8b234c11e17491400"},
+    {2, "61e2944880495e99ab51f121f40b9d811da010ca2284525c406b1c37d1643527"},
+    {3, "f6088fc28d50eee587aa22d480166864f345de66401a82ec8029eaf7801fcecc"},
+    {4, "364a57a2d63b16696085783a58592e98bdf617d5a538cb2f5b30f7f5a23d1a63"},
+    {5, "e6332677f544329ecff7e7526e684f410ac507f88da8fa98c70bc1f809e2f941"},
+    {6, "92037c97818d1b2401492c572c465c450089cc8667a9bd91b5edc16877fb17c8"},
+    {7, "0faef141910be0d183c4c5df3bfb15b0fc6722c7d5b90e2c5b82a20aa126a1fd"},
+    {8, "4fcb5efcb65312c279671b6effcba7c590ade17937013a5a5bb290d19e2d0646"},
+};
+constexpr GoldenDigest kAdversarialGolden[] = {
+    {31, "f7dc5e894ee7ed40b1f844fbd65577efdb58fdc10bf90a1076667bbb5da2ef66"},
+    {32, "66791d279bc860fe1565e41ad9089713554a27a2936538005127d1a916dc39a3"},
+};
+
+void expect_strictly_ordered(const std::vector<net::TraceEntry>& trace,
+                             std::uint64_t seed) {
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const auto& a = trace[i - 1];
+    const auto& b = trace[i];
+    ASSERT_TRUE(a.time < b.time || (a.time == b.time && a.seq < b.seq))
+        << "trace order violated at index " << i << ", seed " << seed;
+  }
+}
+
+// Mirror of network_convergence_test's run_once, minus its assertions —
+// the digest pins the full delivery schedule those assertions ran over.
+Digest convergence_trace(std::uint64_t seed, net::TraceMode mode,
+                         std::vector<net::TraceEntry>* trace_out = nullptr) {
+  crypto::Rng rng(seed);
+  const std::size_t n_nodes = 4 + rng.next_below(3);
+  SimNet simnet(seed);
+  simnet.set_trace_mode(mode);
+  std::vector<std::unique_ptr<NetNode>> nodes;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    auto key = crypto::KeyPair::from_seed(Hasher(Domain::kGeneric)
+                                              .write_str("conv-miner")
+                                              .write_u64(i)
+                                              .finalize());
+    nodes.push_back(std::make_unique<NetNode>(
+        simnet, mainchain::ChainParams{}, key));
+  }
+  std::vector<NetNode*> ptrs;
+  for (auto& n : nodes) ptrs.push_back(n.get());
+  ScenarioRunner runner(simnet, ptrs);
+  const std::size_t cycles = 1 + rng.next_below(3);
+  const std::size_t mines_per_side = 1 + rng.next_below(3);
+  runner.run(net::make_random_race(rng, n_nodes, cycles, mines_per_side));
+  EXPECT_TRUE(runner.converge(0)) << "seed " << seed;
+  if (trace_out != nullptr) *trace_out = simnet.trace();
+  return simnet.trace_digest();
+}
+
+// Deterministic adversarial catch-up: 3 honest + 1 straggler, with an
+// orphan spammer flooding the straggler mid-sync (exercises the DoS
+// scoring, ban timers and orphan bookkeeping paths).
+Digest adversarial_trace(std::uint64_t seed, net::TraceMode mode,
+                         std::vector<net::TraceEntry>* trace_out = nullptr) {
+  net::NodeCluster c(seed, 4);
+  c.net.set_trace_mode(mode);
+  net::OrphanSpammer spammer(c.net, mainchain::ChainParams{});
+  c.net.partition({{0, 1, 2}, {3}});
+  for (int i = 0; i < 40; ++i) c[0].mine();
+  c.net.run_until_idle();
+  c.net.heal();
+  spammer.spam(3, 2 * mainchain::ChainParams{}.max_orphan_blocks);
+  for (int round = 0; round < 64 && c[3].tip() != c[0].tip(); ++round) {
+    c[0].announce_tip();
+    c.net.run_until_idle();
+  }
+  EXPECT_EQ(c[3].tip(), c[0].tip()) << "seed " << seed;
+  c.net.run_until(c.net.now() +
+                  2 * c[3].sync_config().dos.orphan_suspect_grace);
+  c.net.run_until_idle();
+  if (trace_out != nullptr) *trace_out = c.net.trace();
+  return c.net.trace_digest();
+}
+
+class ConvergenceGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvergenceGolden, TraceDigestMatchesPreRefactorCapture) {
+  const GoldenDigest& golden = kConvergenceGolden[GetParam()];
+  std::vector<net::TraceEntry> trace;
+  const Digest got =
+      convergence_trace(golden.seed, net::TraceMode::kFull, &trace);
+  EXPECT_EQ(got.to_hex(), golden.hex) << "seed " << golden.seed;
+  EXPECT_EQ(SimNet::digest_of(trace).to_hex(), golden.hex)
+      << "seed " << golden.seed;
+  expect_strictly_ordered(trace, golden.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceGolden,
+                         ::testing::Range<std::size_t>(
+                             0, std::size(kConvergenceGolden)));
+
+class AdversarialGolden : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdversarialGolden, TraceDigestMatchesPreRefactorCapture) {
+  const GoldenDigest& golden = kAdversarialGolden[GetParam()];
+  std::vector<net::TraceEntry> trace;
+  const Digest got =
+      adversarial_trace(golden.seed, net::TraceMode::kFull, &trace);
+  EXPECT_EQ(got.to_hex(), golden.hex) << "seed " << golden.seed;
+  expect_strictly_ordered(trace, golden.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialGolden,
+                         ::testing::Range<std::size_t>(
+                             0, std::size(kAdversarialGolden)));
+
+// The O(1)-memory digest mode folds to the identical value — large
+// sweeps can assert the same golden digests without storing a trace.
+TEST(TraceModes, DigestModeReproducesGoldenWithoutStoringTrace) {
+  EXPECT_EQ(convergence_trace(1, net::TraceMode::kDigest).to_hex(),
+            kConvergenceGolden[0].hex);
+  EXPECT_EQ(adversarial_trace(31, net::TraceMode::kDigest).to_hex(),
+            kAdversarialGolden[0].hex);
+}
+
+}  // namespace
+}  // namespace zendoo

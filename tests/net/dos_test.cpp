@@ -39,7 +39,7 @@ struct DosRig {
                                               .write_u64(seed)
                                               .finalize()),
                sync),
-        attacker(net.add_node([](NodeId, std::span<const std::uint8_t>) {})) {}
+        attacker(net.add_node([](NodeId, const SimNet::PayloadPtr&) {})) {}
 
   void inject(MsgType type, const std::vector<std::uint8_t>& body) {
     net.send(attacker, victim.id(), wire_msg(type, body));
@@ -182,6 +182,66 @@ TEST(Dos, ScoringDisabledNeverBans) {
   EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, 0);
   // The per-peer bookkeeping still works; only the penalties are off.
   EXPECT_EQ(rig.victim.peer_state(rig.attacker).malformed, 50u);
+}
+
+TEST(Dos, ScoreHalvesEveryHalfLife) {
+  // zen-style decay: the score left over from past offenses halves per
+  // elapsed half-life, applied lazily when the peer is next scored.
+  SyncConfig sync;
+  sync.dos.score_half_life = 100;
+  DosRig rig(43, sync);
+  const int per = sync.dos.malformed_penalty;  // 20 at the defaults
+
+  rig.inject(MsgType::kBlock, {0xff});
+  rig.inject(MsgType::kBlock, {0xff});
+  ASSERT_EQ(rig.victim.peer_state(rig.attacker).score, 2 * per);
+
+  // One half-life later, the next offense charges onto a halved score.
+  rig.net.run_until(rig.net.now() + sync.dos.score_half_life);
+  rig.inject(MsgType::kBlock, {0xff});
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, (2 * per) / 2 + per);
+
+  // Several half-lives of silence wipe the slate almost clean.
+  rig.net.run_until(rig.net.now() + 8 * sync.dos.score_half_life);
+  rig.inject(MsgType::kBlock, {0xff});
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score, per);
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+}
+
+TEST(Dos, SlowFlakyPeerNeverAccumulatesToBan) {
+  // The satellite's motivating case: an honest-but-flaky peer trips one
+  // malformed penalty per half-life, forever. Without decay the score
+  // ratchets to the 100-point threshold on the 5th offense; with decay
+  // it plateaus below 2x the penalty and the peer stays connected.
+  SyncConfig sync;
+  sync.dos.score_half_life = 50;
+  DosRig rig(47, sync);
+  for (int i = 0; i < 20; ++i) {
+    rig.inject(MsgType::kBlock, {0xba, 0xad});
+    rig.net.run_until(rig.net.now() + sync.dos.score_half_life);
+  }
+  EXPECT_FALSE(rig.victim.peer_banned(rig.attacker));
+  EXPECT_LT(rig.victim.peer_state(rig.attacker).score,
+            2 * sync.dos.malformed_penalty);
+  // A concentrated burst still bans: the whole burst spans well under
+  // one half-life per offense, so at most one halving can interleave —
+  // ten penalties overwhelm it regardless of where the boundary falls.
+  for (int i = 0; i < 10 && !rig.victim.peer_banned(rig.attacker); ++i) {
+    rig.inject(MsgType::kBlock, {0xba, 0xad});
+  }
+  EXPECT_TRUE(rig.victim.peer_banned(rig.attacker));
+}
+
+TEST(Dos, ZeroHalfLifeDisablesDecay) {
+  SyncConfig sync;
+  sync.dos.score_half_life = 0;
+  DosRig rig(53, sync);
+  rig.inject(MsgType::kBlock, {0xff});
+  const int score = rig.victim.peer_state(rig.attacker).score;
+  rig.net.run_until(rig.net.now() + 1'000'000);
+  rig.inject(MsgType::kBlock, {0xff});
+  EXPECT_EQ(rig.victim.peer_state(rig.attacker).score,
+            score + rig.victim.sync_config().dos.malformed_penalty);
 }
 
 TEST(Dos, HonestDeepCatchUpNeverScores) {

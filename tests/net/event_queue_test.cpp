@@ -1,0 +1,149 @@
+// CalendarQueue unit tests: differential checks against a reference
+// binary heap. The property everything else hangs on: events pop in
+// nondecreasing tick order, FIFO within a tick — which, with the
+// simulator's monotone sequence numbers, is exactly the old
+// std::priority_queue's (time, seq) order.
+#include "net/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "crypto/rng.hpp"
+
+namespace zendoo::net {
+namespace {
+
+struct Ev {
+  std::uint64_t at = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Reference: the exact comparator SimNet used before the calendar queue.
+struct LaterFirst {
+  bool operator()(const Ev& a, const Ev& b) const {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
+};
+using ReferenceQueue = std::priority_queue<Ev, std::vector<Ev>, LaterFirst>;
+
+/// Drives both queues through the same push/pop schedule and asserts
+/// every pop agrees. `max_delay` controls how far events land past the
+/// current clock — large values exercise the overflow map.
+void differential_run(std::uint64_t seed, std::size_t ops,
+                      std::uint64_t max_delay) {
+  crypto::Rng rng(seed);
+  CalendarQueue<Ev> queue;
+  ReferenceQueue ref;
+  std::uint64_t clock = 0;  // last popped tick; pushes are never below it
+  std::uint64_t seq = 0;
+  for (std::size_t op = 0; op < ops; ++op) {
+    const bool do_push = ref.empty() || rng.chance(3, 5);
+    if (do_push) {
+      // Bursts of same-tick pushes exercise the FIFO-within-tick rule.
+      const std::size_t burst = 1 + rng.next_below(4);
+      const std::uint64_t at = clock + rng.next_below(max_delay + 1);
+      for (std::size_t i = 0; i < burst; ++i) {
+        // Vary within the burst so some events land below the first
+        // push's tick — the re-anchor case a drained queue hits.
+        const std::uint64_t jitter = rng.next_below(3);
+        const Ev ev{at >= jitter ? at - jitter : 0, seq++};
+        if (ev.at < clock) continue;  // the simulator never pushes the past
+        queue.push(ev);
+        ref.push(ev);
+      }
+    } else {
+      const Ev expect = ref.top();
+      ref.pop();
+      ASSERT_FALSE(queue.empty());
+      ASSERT_EQ(queue.next_time(), expect.at);
+      const Ev got = queue.pop();
+      ASSERT_EQ(got.at, expect.at);
+      ASSERT_EQ(got.seq, expect.seq);
+      clock = got.at;
+    }
+    ASSERT_EQ(queue.size(), ref.size());
+  }
+  while (!ref.empty()) {
+    const Ev expect = ref.top();
+    ref.pop();
+    const Ev got = queue.pop();
+    ASSERT_EQ(got.at, expect.at);
+    ASSERT_EQ(got.seq, expect.seq);
+  }
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.next_time(), std::nullopt);
+}
+
+TEST(CalendarQueue, MatchesHeapShortDelays) {
+  // Simulator-shaped traffic: latencies far below the ring window.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    differential_run(seed, 4000, 12);
+  }
+}
+
+TEST(CalendarQueue, MatchesHeapAcrossOverflow) {
+  // Delays past the 1024-tick window: events overflow into the far map
+  // and must migrate back in front of younger ring events at their tick.
+  for (std::uint64_t seed = 11; seed <= 14; ++seed) {
+    differential_run(seed, 3000, 5000);
+  }
+}
+
+TEST(CalendarQueue, MatchesHeapHugeJumps) {
+  // Mostly-idle networks: ticks jump by up to many windows at once.
+  for (std::uint64_t seed = 21; seed <= 23; ++seed) {
+    differential_run(seed, 1500, 100'000);
+  }
+}
+
+TEST(CalendarQueue, SameTickIsFifo) {
+  CalendarQueue<Ev> queue;
+  for (std::uint64_t i = 0; i < 100; ++i) queue.push({7, i});
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(queue.pop().seq, i);
+  }
+}
+
+TEST(CalendarQueue, ReanchorBelowFirstPush) {
+  // Regression: after draining, the first push anchors the ring. A later
+  // push at a *smaller* tick (same send tick, smaller latency draw) must
+  // still pop first — this exact pattern silently deferred deliveries by
+  // a full ring revolution in an early version.
+  CalendarQueue<Ev> queue;
+  queue.push({50, 0});
+  queue.pop();  // drain; the next push re-anchors
+  queue.push({110, 1});
+  queue.push({101, 2});
+  EXPECT_EQ(queue.next_time(), 101u);
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_EQ(queue.pop().seq, 1u);
+}
+
+TEST(CalendarQueue, ReanchorWithSpanBeyondWindow) {
+  // The eviction path: the anchor-lowering push shrinks the horizon so
+  // far that resident ring events fall outside it and must round-trip
+  // through the overflow map without losing FIFO order.
+  CalendarQueue<Ev> queue;
+  queue.push({5000, 0});
+  queue.pop();
+  queue.push({7000, 1});  // re-anchors at 7000
+  queue.push({5100, 2});  // lowers the anchor; 7000 now beyond 5100+1024
+  queue.push({7000, 3});
+  EXPECT_EQ(queue.pop().seq, 2u);
+  EXPECT_EQ(queue.pop().seq, 1u);  // still ahead of the younger same-tick push
+  EXPECT_EQ(queue.pop().seq, 3u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(CalendarQueue, FarFutureSingleEvent) {
+  CalendarQueue<Ev> queue;
+  queue.push({3, 0});
+  EXPECT_EQ(queue.pop().at, 3u);
+  queue.push({1'000'000, 1});  // deep idle gap: settle must jump, not scan
+  EXPECT_EQ(queue.next_time(), 1'000'000u);
+  EXPECT_EQ(queue.pop().at, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace zendoo::net

@@ -437,8 +437,8 @@ class ReplayHeaderServer {
   ReplayHeaderServer(SimNet& net, std::vector<mainchain::Block> chain,
                      std::size_t batch)
       : net_(net), chain_(std::move(chain)), batch_(batch) {
-    id_ = net_.add_node([this](NodeId from, std::span<const std::uint8_t> p) {
-      on_message(from, p);
+    id_ = net_.add_node([this](NodeId from, const SimNet::PayloadPtr& p) {
+      on_message(from, std::span<const std::uint8_t>(p->bytes));
     });
     for (const auto& b : chain_) blocks_by_hash_.emplace(b.hash(), &b);
   }
@@ -535,8 +535,8 @@ TEST(SchedulerRegression, StallTimerFiresAtEarliestPendingDeadline) {
                                             .finalize());
   NetNode victim(net, params, key);
   // Two peers that receive everything and answer nothing.
-  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
-  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
+  net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
 
   // Real headers (ancestry from genesis) injected unsolicited: the
   // victim connects them and requests the bodies from the dead peers.
@@ -620,6 +620,34 @@ TEST(Scenario, ScriptedPartitionRaceConverges) {
   std::uint64_t reorgs = 0;
   for (auto* node : c.ptrs()) reorgs += node->stats().reorgs;
   EXPECT_GE(reorgs, 1u);
+}
+
+TEST(PayloadSharing, MinerEncodesEachBlockOnceForTheWholeCluster) {
+  // A 17-node mesh: every mine broadcasts to 16 peers and then serves
+  // backfill requests. The encoded-block cache must keep the miner at
+  // one encode per block no matter how many peers it feeds, and the
+  // shared-payload broadcast must queue each distinct buffer's bytes
+  // once (not once per recipient).
+  NodeCluster c(55, 17);
+  for (int i = 0; i < 5; ++i) {
+    c[0].mine();
+    c.net.run_until_idle();
+  }
+  for (std::size_t i = 1; i < 17; ++i) EXPECT_EQ(c[i].tip(), c[0].tip());
+  EXPECT_EQ(c[0].stats().encode_cache_misses, 5u);
+
+  // Flood relay means most nodes hear each block from several peers;
+  // the wire-level dedup table must absorb those without re-decoding.
+  std::uint64_t dedup = 0;
+  for (auto* n : c.ptrs()) dedup += n->stats().wire_dedup_hits;
+  EXPECT_GT(dedup, 0u);
+
+  // Re-broadcasting the tip (and any backfill serving) must reuse the
+  // cached encoding instead of re-encoding: still 5 misses after.
+  c[0].announce_tip();
+  c.net.run_until_idle();
+  EXPECT_EQ(c[0].stats().encode_cache_misses, 5u);
+  EXPECT_GE(c[0].stats().encode_cache_hits, 1u);
 }
 
 TEST(Scenario, SameSeedReproducesTraceAndTip) {

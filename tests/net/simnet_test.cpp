@@ -12,8 +12,8 @@ namespace {
 struct Sink {
   std::vector<std::pair<NodeId, std::uint8_t>> got;
   SimNet::Handler handler() {
-    return [this](NodeId from, std::span<const std::uint8_t> p) {
-      got.emplace_back(from, p.empty() ? 0 : p.front());
+    return [this](NodeId from, const SimNet::PayloadPtr& p) {
+      got.emplace_back(from, p->bytes.empty() ? 0 : p->bytes.front());
     };
   }
 };
@@ -21,7 +21,7 @@ struct Sink {
 TEST(SimNet, DeliversInLatencyOrder) {
   SimNet net(1);
   Sink sink;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   NodeId b = net.add_node(sink.handler());
   LinkParams slow{10, 10, 0, 1};
   LinkParams fast{1, 1, 0, 1};
@@ -41,7 +41,7 @@ TEST(SimNet, DeliversInLatencyOrder) {
 TEST(SimNet, SameTickOrderedBySendSequence) {
   SimNet net(7);
   Sink sink;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   NodeId b = net.add_node(sink.handler());
   net.set_default_link({3, 3, 0, 1});
   for (std::uint8_t i = 0; i < 5; ++i) net.send(a, b, {i});
@@ -72,7 +72,7 @@ TEST(SimNet, SameSeedSameTrace) {
 TEST(SimNet, DropModelLosesMessages) {
   SimNet net(5);
   Sink sink;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   net.add_node(sink.handler());
   net.set_default_link({1, 1, 5, 10});  // 50% loss
   for (std::uint8_t i = 0; i < 100; ++i) net.send(a, 1, {i});
@@ -108,7 +108,7 @@ TEST(SimNet, PartitionCutsCrossTrafficOnly) {
 TEST(SimNet, InFlightMessagesLostWhenCutMidFlight) {
   SimNet net(11);
   Sink sink;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   net.add_node(sink.handler());
   net.set_default_link({10, 10, 0, 1});
   net.send(a, 1, {1});     // in flight until t=10
@@ -129,7 +129,7 @@ TEST(SimNet, UnlistedNodesFormImplicitGroup) {
 
 TEST(SimNet, RunUntilAdvancesClockPastIdle) {
   SimNet net(17);
-  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   net.run_until(100);
   EXPECT_EQ(net.now(), 100u);
 }
@@ -138,7 +138,7 @@ TEST(SimNet, TimersFireAtDeadlineInterleavedWithMessages) {
   SimNet net(19);
   Sink sink;
   std::vector<std::pair<SimTime, std::uint64_t>> fired;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   NodeId b = net.add_node(sink.handler());
   net.set_timer_handler(b, [&](std::uint64_t token) {
     fired.emplace_back(net.now(), token);
@@ -162,8 +162,8 @@ TEST(SimNet, TimersFireAtDeadlineInterleavedWithMessages) {
 TEST(SimNet, TimersSurvivePartitionsAndDropModel) {
   SimNet net(23);
   int fired = 0;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
-  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
+  net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   net.set_timer_handler(a, [&](std::uint64_t) { ++fired; });
   net.set_default_link({1, 1, 1, 1});  // 100% loss
   net.partition({{0}, {1}});           // and a is cut off entirely
@@ -177,9 +177,9 @@ TEST(SimNet, TimersSurvivePartitionsAndDropModel) {
 TEST(SimNet, LinkStatsCountPerDirectedLink) {
   SimNet net(27);
   Sink sink;
-  NodeId a = net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
   NodeId b = net.add_node(sink.handler());
-  net.add_node([](NodeId, std::span<const std::uint8_t>) {});
+  net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
 
   net.send(a, b, {1});
   net.send(a, b, {2});
@@ -201,6 +201,119 @@ TEST(SimNet, LinkStatsCountPerDirectedLink) {
   // Per-link tallies are consistent with the global ones.
   EXPECT_EQ(net.stats().delivered, 3u);
   EXPECT_EQ(net.stats().partitioned, 1u);
+}
+
+TEST(SimNet, DigestModeMatchesFullTraceDigest) {
+  // One seeded lossy run recorded twice: once with the full vector, once
+  // with the O(1) rolling digest. Replay identity demands they agree.
+  auto run = [](TraceMode mode) {
+    SimNet net(99);
+    net.set_trace_mode(mode);
+    std::vector<Sink> sinks(4);
+    std::vector<NodeId> ids;
+    for (auto& s : sinks) ids.push_back(net.add_node(s.handler()));
+    net.set_default_link({1, 9, 2, 10});
+    net.partition({{0, 1}, {2, 3}});
+    for (std::uint8_t round = 0; round < 8; ++round) {
+      net.broadcast(ids[round % 4], {round});
+      net.run_until(net.now() + 3);
+    }
+    net.heal();
+    net.broadcast(ids[0], {42});
+    net.run_until_idle();
+    return net;
+  };
+  SimNet full = run(TraceMode::kFull);
+  SimNet digest = run(TraceMode::kDigest);
+  EXPECT_FALSE(full.trace().empty());
+  EXPECT_TRUE(digest.trace().empty());  // kDigest stores no entries
+  EXPECT_EQ(full.trace_digest(), SimNet::digest_of(full.trace()));
+  EXPECT_EQ(digest.trace_digest(), full.trace_digest());
+  // Same event stream either way.
+  EXPECT_EQ(digest.stats().delivered, full.stats().delivered);
+  EXPECT_EQ(digest.stats().events_processed, full.stats().events_processed);
+}
+
+TEST(SimNet, OffModeRecordsNothingButCountsStats) {
+  SimNet net(101);
+  Sink sink;
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
+  net.add_node(sink.handler());
+  net.set_trace_mode(TraceMode::kOff);
+  for (std::uint8_t i = 0; i < 5; ++i) net.send(a, 1, {i});
+  net.run_until_idle();
+  EXPECT_TRUE(net.trace().empty());
+  EXPECT_EQ(net.trace_digest(), SimNet::trace_digest_seed());
+  EXPECT_EQ(net.stats().delivered, 5u);
+  EXPECT_EQ(sink.got.size(), 5u);
+}
+
+TEST(SimNet, BroadcastQueuesPayloadBytesOnce) {
+  // The hash-once/share-once contract: a broadcast to 15 receivers
+  // materializes one buffer, so bytes_queued counts it once, while every
+  // delivery reuses the same precomputed digest.
+  SimNet net(103);
+  std::vector<Sink> sinks(16);
+  for (auto& s : sinks) net.add_node(s.handler());
+  const std::vector<std::uint8_t> payload(1000, 0xab);
+  net.broadcast(0, payload);
+  net.run_until_idle();
+  EXPECT_EQ(net.stats().bytes_queued, 1000u);
+  EXPECT_EQ(net.stats().delivered, 15u);
+  ASSERT_EQ(net.trace().size(), 15u);
+  for (const auto& e : net.trace()) {
+    EXPECT_EQ(e.payload_hash, net.trace()[0].payload_hash);
+  }
+  // A shared pre-materialized payload re-sent to every node adds its
+  // bytes once more (at make_payload), not per receiver.
+  auto shared = net.make_payload({1, 2, 3});
+  for (NodeId to = 1; to < 16; ++to) net.send(0, to, shared);
+  net.run_until_idle();
+  EXPECT_EQ(net.stats().bytes_queued, 1003u);
+}
+
+TEST(SimNet, IdleEventCapIsConfigurable) {
+  // Two nodes ping-ponging forever: run_until_idle must throw at the
+  // configured budget instead of the built-in million.
+  auto make_storm = [](SimNet& net) {
+    net.add_node([&net](NodeId from, const SimNet::PayloadPtr& p) {
+      net.send(0, from, p->bytes);
+    });
+    net.add_node([&net](NodeId from, const SimNet::PayloadPtr& p) {
+      net.send(1, from, p->bytes);
+    });
+    net.send(0, 1, {1});
+  };
+  SimNet net(107);
+  make_storm(net);
+  net.set_idle_event_cap(100);
+  EXPECT_EQ(net.idle_event_cap(), 100u);
+  EXPECT_THROW(net.run_until_idle(), std::runtime_error);
+  // An explicit argument overrides the configured default.
+  SimNet net2(107);
+  make_storm(net2);
+  net2.set_idle_event_cap(100);
+  EXPECT_THROW(net2.run_until_idle(50), std::runtime_error);
+  EXPECT_LE(net2.stats().events_processed, 52u);
+}
+
+TEST(SimNet, FarFutureTimersCrossTheRingWindow) {
+  // Deep timers (beyond the 1024-tick calendar window) exercise the
+  // overflow map end to end: park, migrate, fire in deadline order.
+  SimNet net(109);
+  std::vector<std::pair<SimTime, std::uint64_t>> fired;
+  NodeId a = net.add_node([](NodeId, const SimNet::PayloadPtr&) {});
+  net.set_timer_handler(a, [&](std::uint64_t token) {
+    fired.emplace_back(net.now(), token);
+  });
+  net.set_timer(a, 90'000, 3);
+  net.set_timer(a, 5, 1);
+  net.set_timer(a, 2'000, 2);
+  net.run_until_idle();
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], (std::pair<SimTime, std::uint64_t>{5, 1}));
+  EXPECT_EQ(fired[1], (std::pair<SimTime, std::uint64_t>{2'000, 2}));
+  EXPECT_EQ(fired[2], (std::pair<SimTime, std::uint64_t>{90'000, 3}));
 }
 
 }  // namespace
