@@ -37,6 +37,8 @@
 #include <thread>
 #include <vector>
 
+#include "bench_merge.hpp"
+
 namespace zendoo::bench {
 
 inline std::string json_escape(const std::string& s) {
@@ -93,18 +95,22 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(report);
   }
 
-  /// Writes BENCH_<area>.json; returns the path written.
+  /// Writes BENCH_<area>.json; returns the path written. Same-named
+  /// runs (repetitions) are merged — see bench_merge.hpp — so the
+  /// "benchmarks" array never carries name collisions a name-keyed
+  /// consumer would silently truncate.
   std::string write_file() const {
     std::string dir = ".";
     if (const char* env = std::getenv("ZENDOO_BENCH_DIR")) dir = env;
     std::string path = dir + "/BENCH_" + area_ + ".json";
+    const std::vector<Record> merged = merge_records(records_);
     std::ofstream out(path);
     out << "{\n  \"area\": \"" << json_escape(area_) << "\",\n";
     out << "  \"hardware_concurrency\": "
         << std::thread::hardware_concurrency() << ",\n";
     out << "  \"benchmarks\": [";
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const Record& r = records_[i];
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+      const Record& r = merged[i];
       out << (i == 0 ? "\n" : ",\n");
       out << "    { \"name\": \"" << json_escape(r.name) << "\", "
           << "\"iterations\": " << r.iterations << ", "
@@ -130,16 +136,6 @@ class JsonTeeReporter : public benchmark::ConsoleReporter {
   }
 
  private:
-  struct Record {
-    std::string name;
-    long long iterations = 0;
-    double real_time = 0;
-    double cpu_time = 0;
-    std::string time_unit;
-    std::string label;
-    std::vector<std::pair<std::string, double>> counters;
-  };
-
   std::string area_;
   std::vector<Record> records_;
 };

@@ -1,0 +1,97 @@
+// Benchmark-record aggregation for BENCH_<area>.json, separated from
+// bench_json.hpp so it has no google-benchmark dependency and the unit
+// tests can exercise it directly.
+//
+// Why it exists: google-benchmark reports one Run per repetition, so a
+// bench registered with Repetitions(3) (or simply run twice through the
+// harness) produced three same-named entries in the "benchmarks" array.
+// Any consumer that keys on "name" — which is exactly what a
+// perf-trajectory diff does — kept an arbitrary one and silently dropped
+// the rest. merge_records collapses same-named runs into a single entry
+// with well-defined semantics instead:
+//   - iterations are summed,
+//   - real_time / cpu_time / every counter become iteration-weighted
+//     means (each Run's value is already a per-iteration average, so the
+//     weighted mean is the true per-iteration average over all runs),
+//   - a counter absent from some runs contributes 0 for those runs,
+//   - mismatched time units across same-named runs are a harness bug
+//     and throw std::runtime_error rather than averaging ns into us.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace zendoo::bench {
+
+/// One benchmark result as it appears in BENCH_<area>.json. Times and
+/// counter values are per-iteration averages.
+struct Record {
+  std::string name;
+  long long iterations = 0;
+  double real_time = 0;
+  double cpu_time = 0;
+  std::string time_unit;
+  std::string label;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// Collapses same-named records (see the header comment for the exact
+/// aggregation rules). Output preserves first-appearance order of both
+/// names and counter keys.
+inline std::vector<Record> merge_records(const std::vector<Record>& in) {
+  std::vector<Record> out;
+  std::map<std::string, std::size_t> index;  // name -> position in out
+  for (const Record& r : in) {
+    auto [it, inserted] = index.try_emplace(r.name, out.size());
+    if (inserted) {
+      out.push_back(r);
+      continue;
+    }
+    Record& acc = out[it->second];
+    if (acc.time_unit != r.time_unit) {
+      throw std::runtime_error("merge_records: benchmark '" + r.name +
+                               "' reported in both '" + acc.time_unit +
+                               "' and '" + r.time_unit + "'");
+    }
+    const double w_acc = static_cast<double>(acc.iterations);
+    const double w_new = static_cast<double>(r.iterations);
+    const double total = w_acc + w_new;
+    if (total <= 0) continue;  // two empty runs: nothing to weight
+    auto weighted = [&](double a, double b) {
+      return (a * w_acc + b * w_new) / total;
+    };
+    acc.real_time = weighted(acc.real_time, r.real_time);
+    acc.cpu_time = weighted(acc.cpu_time, r.cpu_time);
+    // Counters: weighted mean over ALL iterations, treating a counter
+    // that a run didn't report as 0 for that run.
+    for (auto& [key, value] : acc.counters) {
+      double other = 0;
+      for (const auto& [k2, v2] : r.counters) {
+        if (k2 == key) {
+          other = v2;
+          break;
+        }
+      }
+      value = weighted(value, other);
+    }
+    for (const auto& [k2, v2] : r.counters) {
+      bool known = false;
+      for (const auto& [key, value] : acc.counters) {
+        if (key == k2) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) acc.counters.emplace_back(k2, weighted(0, v2));
+    }
+    if (acc.label.empty()) acc.label = r.label;
+    acc.iterations += r.iterations;
+  }
+  return out;
+}
+
+}  // namespace zendoo::bench

@@ -12,7 +12,10 @@
 // messages, announce rounds), not just wall time.
 #include "bench_json.hpp"
 
+#include <memory>
+
 #include "net/scenario.hpp"
+#include "sim/metrics_probe.hpp"
 
 namespace {
 
@@ -188,23 +191,43 @@ void BM_LargeClusterGossip(benchmark::State& state) {
   // flat link tables, hash-once payloads); `blocks_connected` separates
   // useful chain work from gossip amplification, so a relay storm shows
   // up as events growing without blocks following.
+  //
+  // Third arg: attach a MetricsProbe sampling the whole cluster every
+  // 32 ticks. The probe-on/probe-off pair at the same shape (128/30) is
+  // the observability-overhead comparison BENCH_net.json carries — the
+  // two rows must stay within a few percent of each other.
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   const std::uint64_t blocks = static_cast<std::uint64_t>(state.range(1));
-  std::uint64_t events = 0, connected = 0, iters = 0;
+  const bool probe_on = state.range(2) != 0;
+  std::uint64_t events = 0, connected = 0, samples = 0, iters = 0;
   for (auto _ : state) {
     state.PauseTiming();
     Cluster cluster(n);
     cluster.simnet.set_trace_mode(net::TraceMode::kOff);
     cluster.simnet.set_idle_event_cap(50'000'000);
+    auto probe =
+        probe_on ? std::make_unique<sim::MetricsProbe>(
+                       cluster.simnet, cluster.ptrs(), /*cadence=*/32)
+                 : nullptr;
     state.ResumeTiming();
     for (std::uint64_t b = 0; b < blocks; ++b) {
       cluster.nodes[b % n]->mine();
-      cluster.simnet.run_until_idle();
+      if (probe != nullptr) {
+        // Sample on the cadence only; the final drain snapshots the
+        // end state.
+        probe->run_until_idle(/*final_sample=*/b + 1 == blocks);
+      } else {
+        cluster.simnet.run_until_idle();
+      }
     }
     benchmark::DoNotOptimize(cluster.nodes[n - 1]->tip());
     state.PauseTiming();
     events += cluster.simnet.stats().events_processed;
     for (auto& node : cluster.nodes) connected += node->height();
+    if (probe != nullptr) {
+      samples += probe->samples().size();
+      probe->write_json("large_cluster_" + std::to_string(n));
+    }
     ++iters;
     state.ResumeTiming();
   }
@@ -214,13 +237,19 @@ void BM_LargeClusterGossip(benchmark::State& state) {
       static_cast<double>(events), benchmark::Counter::kIsRate);
   state.counters["blocks_connected"] =
       benchmark::Counter(static_cast<double>(connected) / iters);
+  if (probe_on) {
+    state.counters["probe_samples"] =
+        benchmark::Counter(static_cast<double>(samples) / iters);
+  }
   state.SetLabel("nodes=" + std::to_string(n) +
-                 " blocks=" + std::to_string(blocks));
+                 " blocks=" + std::to_string(blocks) +
+                 (probe_on ? " probe=on" : " probe=off"));
 }
 BENCHMARK(BM_LargeClusterGossip)
-    ->Args({64, 30})
-    ->Args({128, 30})
-    ->Args({256, 16})
+    ->Args({64, 30, 0})
+    ->Args({128, 30, 0})
+    ->Args({128, 30, 1})
+    ->Args({256, 16, 0})
     ->Unit(benchmark::kMillisecond)
     ->Iterations(2);
 

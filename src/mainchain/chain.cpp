@@ -273,8 +273,31 @@ const char* to_string(SubmitCode code) {
   return "?";
 }
 
+void Blockchain::init_metrics() {
+  obs_ = std::make_shared<obs::Registry>();
+  events_ = std::make_shared<obs::EventLog>(64);
+  m_submitted_ = obs_->counter("mc.blocks_submitted");
+  m_connected_ = obs_->counter("mc.blocks_connected");
+  m_disconnected_ = obs_->counter("mc.blocks_disconnected");
+  m_duplicates_ = obs_->counter("mc.duplicates");
+  m_rejected_ = obs_->counter("mc.rejected");
+  m_reorgs_ = obs_->counter("mc.reorgs");
+  m_orphans_buffered_ = obs_->counter("mc.orphans_buffered");
+  m_orphans_connected_ = obs_->counter("mc.orphans_connected");
+  m_orphans_evicted_ = obs_->counter("mc.orphans_evicted");
+  m_headers_accepted_ = obs_->counter("mc.headers_accepted");
+  m_reorg_depth_ = obs_->histogram("mc.reorg_depth");
+  m_connect_ns_ = obs_->histogram("mc.connect_block_ns",
+                                  obs::Determinism::kWallClock);
+  m_disconnect_ns_ = obs_->histogram("mc.disconnect_block_ns",
+                                     obs::Determinism::kWallClock);
+  m_orphan_pool_ = obs_->gauge("mc.orphan_pool");
+  m_height_ = obs_->gauge("mc.height");
+}
+
 Blockchain::Blockchain(ChainParams params)
     : params_(params), state_(params) {
+  init_metrics();
   Block genesis = make_genesis_block();
   genesis_hash_ = genesis.hash();
   std::string err = state_.connect_block(genesis);
@@ -371,6 +394,7 @@ HeaderResult Blockchain::submit_header(const BlockHeader& header) {
   headers_.emplace(hash, header);
   if (header.height > header_height()) set_best_header(hash, header.height);
   result.code = HeaderCode::kAccepted;
+  ++*m_headers_accepted_;
   return result;
 }
 
@@ -476,10 +500,15 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
 
   auto disconnect_to_fork = [&] {
     while (state_.height() > fork_height) {
-      if (std::string err = state_.disconnect_block(undo_stack_.back());
-          !err.empty()) {
+      std::string err;
+      {
+        obs::ScopedTimer timer(m_disconnect_ns_);
+        err = state_.disconnect_block(undo_stack_.back());
+      }
+      if (!err.empty()) {
         throw std::logic_error("Blockchain: disconnect failed: " + err);
       }
+      ++*m_disconnected_;
       undo_stack_.pop_back();
     }
   };
@@ -487,8 +516,13 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
   disconnect_to_fork();
   for (std::size_t i = 0; i < new_branch.size(); ++i) {
     BlockUndo undo;
-    if (std::string err = state_.connect_block(*new_branch[i], &undo);
-        !err.empty()) {
+    std::string connect_err;
+    {
+      obs::ScopedTimer timer(m_connect_ns_);
+      connect_err = state_.connect_block(*new_branch[i], &undo);
+    }
+    if (!connect_err.empty()) ++*m_rejected_; else ++*m_connected_;
+    if (std::string err = connect_err; !err.empty()) {
       // Candidate invalid mid-branch: unwind what connected and restore
       // the old branch (which validated before, so this cannot fail).
       disconnect_to_fork();
@@ -499,6 +533,7 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
           throw std::logic_error("Blockchain: old branch reconnect failed: " +
                                  redo_err);
         }
+        ++*m_connected_;
         push_undo(std::move(redo));
       }
       // The branch tip's relayer fed us a branch containing an invalid
@@ -513,6 +548,13 @@ Blockchain::SubmitResult Blockchain::activate_branch(const Digest& tip) {
   result.reorged = depth > 0;
   result.disconnected = depth;
   result.connected = new_branch.size();
+  if (depth > 0) {
+    ++*m_reorgs_;
+    m_reorg_depth_->record(depth);
+    ZENDOO_OBS_EVENT(*events_, kInfo, state_.height(), "mc",
+                     "reorg: branch switch", depth, new_branch.size());
+  }
+  m_height_->set(state_.height());
   return result;
 }
 
@@ -525,9 +567,17 @@ Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
   if (block.header.prev_hash == state_.tip_hash()) {
     // Fast path: extends the active tip.
     BlockUndo undo;
-    if (std::string err = state_.connect_block(block, &undo); !err.empty()) {
+    std::string err;
+    {
+      obs::ScopedTimer timer(m_connect_ns_);
+      err = state_.connect_block(block, &undo);
+    }
+    if (!err.empty()) {
+      ++*m_rejected_;
       return invalid_result(err, 50);
     }
+    ++*m_connected_;
+    m_height_->set(state_.height());
     push_undo(std::move(undo));
     heights_[hash] = block.header.height;
     blocks_.emplace(hash, block);
@@ -568,6 +618,7 @@ Blockchain::SubmitResult Blockchain::submit_attached(const Block& block) {
 void Blockchain::erase_orphan(const Digest& hash) {
   auto it = orphans_.find(hash);
   if (it == orphans_.end()) return;
+  ++*m_orphans_evicted_;
   auto [lo, hi] = orphan_children_.equal_range(it->second.header.prev_hash);
   for (auto idx = lo; idx != hi; ++idx) {
     if (idx->second == hash) {
@@ -605,6 +656,7 @@ void Blockchain::prune_orphans() {
     }
     erase_orphan(victim->first);
   }
+  m_orphan_pool_->set(orphans_.size());
 }
 
 void Blockchain::connect_orphans(const Digest& parent, SubmitResult& agg) {
@@ -624,6 +676,7 @@ void Blockchain::connect_orphans(const Digest& parent, SubmitResult& agg) {
       orphans_.erase(it);
       SubmitResult r = submit_attached(kid);
       if (r.code == SubmitCode::kAccepted) {
+        ++*m_orphans_connected_;
         ++agg.orphans_connected;
         agg.connected += r.connected;
         agg.disconnected += r.disconnected;
@@ -638,7 +691,9 @@ void Blockchain::connect_orphans(const Digest& parent, SubmitResult& agg) {
 
 Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   Digest hash = block.hash();
+  ++*m_submitted_;
   if (blocks_.contains(hash) || orphans_.contains(hash)) {
+    ++*m_duplicates_;
     SubmitResult result;
     result.code = SubmitCode::kDuplicate;
     return result;  // idempotent: resubmission is a silent no-op
@@ -647,12 +702,15 @@ Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
   // Checks that need no parent context — an orphan must pass these too,
   // so a spammer cannot fill the pool with free (PoW-less) blocks.
   if (!(block.hash().as_u256() < params_.pow_target)) {
+    ++*m_rejected_;
     return invalid_result("insufficient proof of work", 100);
   }
   if (block.header.height == 0 || block.header.prev_hash.is_zero()) {
+    ++*m_rejected_;
     return invalid_result("only one genesis block", 100);
   }
   if (block.header.tx_merkle_root != block.compute_tx_merkle_root()) {
+    ++*m_rejected_;
     return invalid_result("tx merkle root mismatch", 100);
   }
 
@@ -664,6 +722,7 @@ Blockchain::SubmitResult Blockchain::submit_block(const Block& block) {
     // simply re-triggers this path when redelivered later.
     orphan_children_.emplace(block.header.prev_hash, hash);
     orphans_.emplace(hash, block);
+    ++*m_orphans_buffered_;
     prune_orphans();
     SubmitResult result;
     result.code = SubmitCode::kOrphaned;

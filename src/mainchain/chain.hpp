@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mainchain/view.hpp"
+#include "obs/trace.hpp"
 
 namespace zendoo::mainchain {
 
@@ -265,6 +266,23 @@ class Blockchain {
     return blocks_.contains(hash);
   }
 
+  // ---- Observability ----
+  //
+  // The registry and event log live behind shared_ptrs because a
+  // Blockchain is copyable (bench fixtures copy a pre-built chain per
+  // measurement): copies share one registry — the metric handles point
+  // into registry-owned storage, so they stay valid and both copies
+  // count into the same metrics. "mc." counters count state-machine
+  // transitions (reorg rollback/redo work included), so they can exceed
+  // SubmitResult aggregates; the genesis connect in the constructor is
+  // not counted. "mc.connect_block_ns"/"mc.disconnect_block_ns" are
+  // wall-clock (Determinism::kWallClock) and excluded from
+  // deterministic exports.
+  [[nodiscard]] obs::Registry& registry() { return *obs_; }
+  [[nodiscard]] const obs::Registry& registry() const { return *obs_; }
+  /// Reorg events (kInfo), timestamped with the post-reorg height.
+  [[nodiscard]] const obs::EventLog& event_log() const { return *events_; }
+
  private:
   [[nodiscard]] bool on_active_chain(const Digest& hash) const;
   void push_undo(BlockUndo undo);
@@ -283,6 +301,8 @@ class Blockchain {
   void connect_orphans(const Digest& parent, SubmitResult& agg);
   /// Drops the orphan with this hash from pool and parent index.
   void erase_orphan(const Digest& hash);
+  /// Creates the shared registry and resolves the metric handles.
+  void init_metrics();
   /// Enforces the orphan height window and size bound (deterministic:
   /// farthest-from-tip first, larger hash breaking ties).
   void prune_orphans();
@@ -314,6 +334,26 @@ class Blockchain {
   /// deeper records could never be consumed, since activate_branch
   /// rejects deeper reorgs.
   std::deque<BlockUndo> undo_stack_;
+
+  /// Shared across copies (see the registry() comment). The raw
+  /// pointers are hot-path handles into registry-owned metrics.
+  std::shared_ptr<obs::Registry> obs_;
+  std::shared_ptr<obs::EventLog> events_;
+  obs::Counter* m_submitted_ = nullptr;
+  obs::Counter* m_connected_ = nullptr;
+  obs::Counter* m_disconnected_ = nullptr;
+  obs::Counter* m_duplicates_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_reorgs_ = nullptr;
+  obs::Counter* m_orphans_buffered_ = nullptr;
+  obs::Counter* m_orphans_connected_ = nullptr;
+  obs::Counter* m_orphans_evicted_ = nullptr;
+  obs::Counter* m_headers_accepted_ = nullptr;
+  obs::Histogram* m_reorg_depth_ = nullptr;
+  obs::Histogram* m_connect_ns_ = nullptr;     ///< wall clock
+  obs::Histogram* m_disconnect_ns_ = nullptr;  ///< wall clock
+  obs::Gauge* m_orphan_pool_ = nullptr;
+  obs::Gauge* m_height_ = nullptr;
 };
 
 }  // namespace zendoo::mainchain

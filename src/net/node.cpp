@@ -26,6 +26,61 @@ NetNode::NetNode(SimNet& net, mainchain::ChainParams params,
     handle(from, p);
   });
   net_.set_timer_handler(id_, [this](std::uint64_t) { on_stall_timer(); });
+  register_metrics();
+}
+
+void NetNode::register_metrics() {
+  auto& r = registry_;
+  r.expose_counter("net.blocks_received", &stats_.blocks_received);
+  r.expose_counter("net.blocks_relayed", &stats_.blocks_relayed);
+  r.expose_counter("net.orphans_buffered", &stats_.orphans_buffered);
+  r.expose_counter("net.duplicates", &stats_.duplicates);
+  r.expose_counter("net.malformed", &stats_.malformed);
+  r.expose_counter("net.rejected", &stats_.rejected);
+  r.expose_counter("net.get_block_served", &stats_.get_block_served);
+  r.expose_counter("net.get_headers_served", &stats_.get_headers_served);
+  r.expose_counter("net.get_data_served", &stats_.get_data_served);
+  r.expose_counter("net.headers_received", &stats_.headers_received);
+  r.expose_counter("net.headers_connected", &stats_.headers_connected);
+  r.expose_counter("net.blocks_downloaded", &stats_.blocks_downloaded);
+  r.expose_counter("net.stalled_rerequests", &stats_.stalled_rerequests);
+  r.expose_counter("net.reorgs", &stats_.reorgs);
+  r.expose_counter("net.dos_events", &stats_.dos_events);
+  r.expose_counter("net.peers_banned", &stats_.peers_banned);
+  r.expose_counter("net.encode_cache_hits", &stats_.encode_cache_hits);
+  r.expose_counter("net.encode_cache_misses", &stats_.encode_cache_misses);
+  r.expose_counter("net.wire_dedup_hits", &stats_.wire_dedup_hits);
+  // Per-MsgType labeled families (tag 0 is unused on the wire).
+  static constexpr const char* kTypeLabels[kMsgTypeCount] = {
+      nullptr,      "block",    "get_block", "get_headers",
+      "headers",    "get_data", "not_found"};
+  for (std::size_t i = 1; i < kMsgTypeCount; ++i) {
+    r.expose_counter(
+        obs::Registry::labeled("net.msgs_sent", "type", kTypeLabels[i]),
+        &stats_.msgs_sent[i]);
+    r.expose_counter(
+        obs::Registry::labeled("net.msgs_received", "type", kTypeLabels[i]),
+        &stats_.msgs_received[i]);
+  }
+  // All-type totals next to the families, so "how chatty is this node"
+  // is one lookup instead of a sum over labels.
+  r.expose_value("net.msgs_sent", [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : stats_.msgs_sent) total += c;
+    return total;
+  });
+  r.expose_value("net.msgs_received", [this] {
+    std::uint64_t total = 0;
+    for (const auto& c : stats_.msgs_received) total += c;
+    return total;
+  });
+  // Computed gauges over scheduler/DoS state. `this` capture is safe:
+  // NetNode is pinned (the SimNet handler closures already require it).
+  r.expose_value("net.in_flight", [this] { return in_flight_.size(); });
+  r.expose_value("net.orphan_suspects",
+                 [this] { return orphan_suspects_.size(); });
+  r.expose_value("net.banned_peers", [this] { return banned_peer_count(); });
+  r.expose_value("net.encoded_cache", [this] { return encoded_cache_.size(); });
 }
 
 std::vector<std::uint8_t> NetNode::encode_block_msg(
@@ -239,6 +294,9 @@ void NetNode::ban_peer(NodeId peer) {
   st.banned_until = net_.now() + sync_.dos.ban_duration;
   ++st.bans;
   ++stats_.peers_banned;
+  ZENDOO_OBS_EVENT(events_, kWarn, net_.now(), "net", "peer banned",
+                   static_cast<std::uint64_t>(peer),
+                   static_cast<std::uint64_t>(st.score));
   net_.set_ban(id_, peer, st.banned_until);
 
   // Strand nothing on the dead connection: every download slot the peer
@@ -724,6 +782,9 @@ void NetNode::on_stall_timer() {
     if (++headers_attempts_ < sync_.max_request_attempts) {
       if (auto next = pick_header_peer(stalled_peer)) {
         ++stats_.stalled_rerequests;
+        ZENDOO_OBS_EVENT(events_, kDebug, now, "net", "header round stalled",
+                         static_cast<std::uint64_t>(stalled_peer),
+                         static_cast<std::uint64_t>(*next));
         request_headers(*next);
       }
     }

@@ -28,6 +28,7 @@
 
 #include "core/engine.hpp"
 #include "net/sim.hpp"
+#include "obs/trace.hpp"
 
 namespace zendoo::net {
 
@@ -192,34 +193,40 @@ class NetNode {
   /// start a headers-first sync or the legacy ancestor walk).
   void announce_tip();
 
+  /// Counters are obs::Counter — identical call-site semantics to the
+  /// raw uint64 fields they replaced (pinned by the differential test
+  /// in trace_equivalence_test.cpp), but enumerable through registry()
+  /// under the "net." prefix.
   struct Stats {
-    std::uint64_t blocks_received = 0;  ///< accepted first-sight blocks
-    std::uint64_t blocks_relayed = 0;
-    std::uint64_t orphans_buffered = 0;
-    std::uint64_t duplicates = 0;
-    std::uint64_t malformed = 0;  ///< undecodable payloads / unknown tags
-    std::uint64_t rejected = 0;   ///< well-formed blocks/headers refused
-                                  ///< by validation
-    std::uint64_t get_block_served = 0;    ///< legacy single-block answers
-    std::uint64_t get_headers_served = 0;  ///< kGetHeaders answered
-    std::uint64_t get_data_served = 0;     ///< bodies served via kGetData
-    std::uint64_t headers_received = 0;    ///< header items seen
-    std::uint64_t headers_connected = 0;   ///< header items accepted
-    std::uint64_t blocks_downloaded = 0;   ///< solicited bodies received
-    std::uint64_t stalled_rerequests = 0;  ///< re-issues after a stall
-                                           ///< or a kNotFound bounce
-    std::uint64_t reorgs = 0;
-    std::uint64_t dos_events = 0;    ///< misbehavior penalties applied
-    std::uint64_t peers_banned = 0;  ///< ban decisions taken (re-bans count)
-    std::uint64_t encode_cache_hits = 0;    ///< blocks served without encode
-    std::uint64_t encode_cache_misses = 0;  ///< blocks encoded (and cached)
+    obs::Counter blocks_received;  ///< accepted first-sight blocks
+    obs::Counter blocks_relayed;
+    obs::Counter orphans_buffered;
+    obs::Counter duplicates;
+    obs::Counter malformed;  ///< undecodable payloads / unknown tags
+    obs::Counter rejected;   ///< well-formed blocks/headers refused
+                             ///< by validation
+    obs::Counter get_block_served;    ///< legacy single-block answers
+    obs::Counter get_headers_served;  ///< kGetHeaders answered
+    obs::Counter get_data_served;     ///< bodies served via kGetData
+    obs::Counter headers_received;    ///< header items seen
+    obs::Counter headers_connected;   ///< header items accepted
+    obs::Counter blocks_downloaded;   ///< solicited bodies received
+    obs::Counter stalled_rerequests;  ///< re-issues after a stall
+                                      ///< or a kNotFound bounce
+    obs::Counter reorgs;
+    obs::Counter dos_events;    ///< misbehavior penalties applied
+    obs::Counter peers_banned;  ///< ban decisions taken (re-bans count)
+    obs::Counter encode_cache_hits;    ///< blocks served without encode
+    obs::Counter encode_cache_misses;  ///< blocks encoded (and cached)
     /// Duplicate deliveries short-circuited by the wire digest before
     /// the codec ran — the flood-relay dedup fast path.
-    std::uint64_t wire_dedup_hits = 0;
+    obs::Counter wire_dedup_hits;
 
-    /// Wire traffic by MsgType tag (index = raw tag value, 0 unused).
-    std::array<std::uint64_t, kMsgTypeCount> msgs_sent{};
-    std::array<std::uint64_t, kMsgTypeCount> msgs_received{};
+    /// Wire traffic by MsgType tag (index = raw tag value, 0 unused);
+    /// each element doubles as a member of the registry's labeled
+    /// families "net.msgs_sent{type=...}" / "net.msgs_received{...}".
+    std::array<obs::Counter, kMsgTypeCount> msgs_sent{};
+    std::array<obs::Counter, kMsgTypeCount> msgs_received{};
     [[nodiscard]] std::uint64_t sent(MsgType t) const {
       return msgs_sent[static_cast<std::size_t>(t)];
     }
@@ -228,6 +235,16 @@ class NetNode {
     }
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Per-node metric registry: every Stats counter under "net.", the
+  /// per-MsgType labeled families, and computed gauges over scheduler
+  /// state (in-flight window, orphan suspects, banned peers).
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+  /// Ring-buffered structured events (bans, stalls) timestamped in sim
+  /// ticks. Severities below ZENDOO_OBS_MIN_SEVERITY are compiled out.
+  [[nodiscard]] const obs::EventLog& event_log() const { return events_; }
   /// Blocks currently requested and unanswered (scheduler introspection).
   [[nodiscard]] std::size_t blocks_in_flight() const {
     return in_flight_.size();
@@ -336,11 +353,19 @@ class NetNode {
   static std::vector<std::uint8_t> encode_block_msg(
       const mainchain::Block& block);
 
+  /// Registers every stats_ counter and the computed gauges with
+  /// registry_ — called once from the constructor, after id_ is known.
+  void register_metrics();
+
   SimNet& net_;
   core::Engine engine_;
   NodeId id_;
   SyncConfig sync_;
   Stats stats_;
+  /// Exposes stats_ (stable addresses: NetNode is pinned by net_'s
+  /// callbacks and by this registry member — never copied or moved).
+  obs::Registry registry_;
+  obs::EventLog events_{128};
 
   /// Content-addressed encoded-block cache: block hash -> shared kBlock
   /// wire payload, LRU-evicted. Sized to cover a catch-up window (peers

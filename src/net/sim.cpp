@@ -13,6 +13,23 @@ std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
 
 }  // namespace
 
+SimNet::SimNet(std::uint64_t seed)
+    : rng_(seed), rolling_digest_(trace_digest_seed()) {
+  registry_.expose_counter("sim.sent", &stats_.sent);
+  registry_.expose_counter("sim.delivered", &stats_.delivered);
+  registry_.expose_counter("sim.dropped", &stats_.dropped);
+  registry_.expose_counter("sim.partitioned", &stats_.partitioned);
+  registry_.expose_counter("sim.banned", &stats_.banned);
+  registry_.expose_counter("sim.timers_set", &stats_.timers_set);
+  registry_.expose_counter("sim.timers_fired", &stats_.timers_fired);
+  registry_.expose_counter("sim.events_processed", &stats_.events_processed);
+  registry_.expose_counter("sim.bytes_queued", &stats_.bytes_queued);
+  // `this` capture is safe: the registry member makes SimNet pinned
+  // (non-copyable, non-movable).
+  registry_.expose_value("sim.queue_depth", [this] { return queue_.size(); });
+  registry_.expose_value("sim.nodes", [this] { return handlers_.size(); });
+}
+
 NodeId SimNet::add_node(Handler handler) {
   handlers_.push_back(std::move(handler));
   timer_handlers_.emplace_back();

@@ -34,6 +34,7 @@
 #include "crypto/rng.hpp"
 #include "net/event_queue.hpp"
 #include "net/pair_table.hpp"
+#include "obs/metrics.hpp"
 
 namespace zendoo::net {
 
@@ -97,8 +98,7 @@ class SimNet {
   /// Called on a node when one of its timers fires.
   using TimerHandler = std::function<void(std::uint64_t token)>;
 
-  explicit SimNet(std::uint64_t seed)
-      : rng_(seed), rolling_digest_(trace_digest_seed()) {}
+  explicit SimNet(std::uint64_t seed);
 
   /// Registers a node; ids are dense and assigned in call order.
   NodeId add_node(Handler handler);
@@ -198,32 +198,51 @@ class SimNet {
   static crypto::Digest fold_trace_entry(const crypto::Digest& acc,
                                          const TraceEntry& entry);
 
+  /// Counters are obs::Counter — raw-uint64 semantics at every call
+  /// site, but enumerable through registry() under the "sim." prefix.
   struct Stats {
-    std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;
-    std::uint64_t dropped = 0;
-    std::uint64_t partitioned = 0;
-    std::uint64_t banned = 0;  ///< refused because of an active ban
-    std::uint64_t timers_set = 0;
-    std::uint64_t timers_fired = 0;
+    obs::Counter sent;
+    obs::Counter delivered;
+    obs::Counter dropped;
+    obs::Counter partitioned;
+    obs::Counter banned;  ///< refused because of an active ban
+    obs::Counter timers_set;
+    obs::Counter timers_fired;
     /// Events (messages + timers) processed by step().
-    std::uint64_t events_processed = 0;
+    obs::Counter events_processed;
     /// Payload bytes materialized (make_payload). A fan-out that shares
     /// one buffer counts it once — this is the counter that proves a
     /// broadcast queues the buffer once, not per receiver.
-    std::uint64_t bytes_queued = 0;
+    obs::Counter bytes_queued;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// The simulator's metric registry: every Stats counter exposed under
+  /// "sim.<name>", plus computed gauges (queue depth, node count).
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+
+  /// Time of the earliest pending event (nullopt when idle) — lets an
+  /// external driver (MetricsProbe) advance the clock to a sampling
+  /// boundary only when doing so processes nothing, keeping sampling
+  /// invisible to the event stream and its trace digest.
+  [[nodiscard]] std::optional<SimTime> next_event_time() {
+    return queue_.next_time();
+  }
 
   /// Per-directed-link delivery accounting — lets a bench sweep tell
   /// whether the simulator or the chain behind it is the bottleneck, and
   /// a sync test see exactly which peer served what.
+  /// Per-link counters are not registry entries — a 256-node run has
+  /// 65k directed links, and the dense PairTable *is* their label
+  /// index (from, to). They share the obs::Counter value type so the
+  /// same differential guarantees apply.
   struct LinkStats {
-    std::uint64_t queued = 0;     ///< send() calls scheduled on this link
-    std::uint64_t delivered = 0;  ///< reached the receiving handler
-    std::uint64_t dropped = 0;    ///< lost to the link's drop model
-    std::uint64_t partitioned = 0;  ///< died crossing an active cut
-    std::uint64_t banned = 0;       ///< refused by an active ban
+    obs::Counter queued;     ///< send() calls scheduled on this link
+    obs::Counter delivered;  ///< reached the receiving handler
+    obs::Counter dropped;    ///< lost to the link's drop model
+    obs::Counter partitioned;  ///< died crossing an active cut
+    obs::Counter banned;       ///< refused by an active ban
   };
   /// Stats for the directed link from -> to (zeroes when never used).
   [[nodiscard]] LinkStats link_stats(NodeId from, NodeId to) const;
@@ -265,6 +284,9 @@ class SimNet {
   crypto::Digest rolling_digest_;
   std::size_t idle_event_cap_ = 1'000'000;
   Stats stats_;
+  /// Exposes stats_ (stable address: SimNet is neither copied nor
+  /// moved once constructed — the registry member enforces that).
+  obs::Registry registry_;
 };
 
 }  // namespace zendoo::net

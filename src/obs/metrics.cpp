@@ -1,0 +1,179 @@
+#include "obs/metrics.hpp"
+
+#include <stdexcept>
+
+namespace zendoo::obs {
+
+Registry::Entry& Registry::register_entry(std::string name, Kind kind,
+                                          Determinism det) {
+  auto [it, inserted] = entries_.try_emplace(std::move(name));
+  if (!inserted && it->second.kind != kind) {
+    throw std::logic_error("obs::Registry: name '" + it->first +
+                           "' re-registered as a different metric kind");
+  }
+  if (inserted) {
+    it->second.kind = kind;
+    it->second.det = det;
+  }
+  return it->second;
+}
+
+Counter* Registry::counter(std::string name, Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kCounter, det);
+  if (e.ptr == nullptr) e.ptr = &counters_.emplace_back();
+  return const_cast<Counter*>(static_cast<const Counter*>(e.ptr));
+}
+
+Gauge* Registry::gauge(std::string name, Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kGauge, det);
+  if (e.ptr == nullptr) e.ptr = &gauges_.emplace_back();
+  return const_cast<Gauge*>(static_cast<const Gauge*>(e.ptr));
+}
+
+Histogram* Registry::histogram(std::string name, Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kHistogram, det);
+  if (e.ptr == nullptr) e.ptr = &histograms_.emplace_back();
+  return const_cast<Histogram*>(static_cast<const Histogram*>(e.ptr));
+}
+
+AtomicCounter* Registry::atomic_counter(std::string name, Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kAtomicCounter, det);
+  if (e.ptr == nullptr) e.ptr = &atomic_counters_.emplace_back();
+  return const_cast<AtomicCounter*>(static_cast<const AtomicCounter*>(e.ptr));
+}
+
+AtomicHistogram* Registry::atomic_histogram(std::string name,
+                                            Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kAtomicHistogram, det);
+  if (e.ptr == nullptr) e.ptr = &atomic_histograms_.emplace_back();
+  return const_cast<AtomicHistogram*>(
+      static_cast<const AtomicHistogram*>(e.ptr));
+}
+
+void Registry::expose_counter(std::string name, const Counter* c,
+                              Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kExternalCounter, det);
+  e.ptr = c;
+}
+
+void Registry::expose_value(std::string name,
+                            std::function<std::uint64_t()> fn,
+                            Determinism det) {
+  std::lock_guard lock(mu_);
+  Entry& e = register_entry(std::move(name), Kind::kComputed, det);
+  e.computed = std::move(fn);
+}
+
+std::string Registry::labeled(std::string_view family, std::string_view key,
+                              std::string_view value) {
+  std::string out;
+  out.reserve(family.size() + key.size() + value.size() + 3);
+  out.append(family).append("{").append(key).append("=").append(value).append(
+      "}");
+  return out;
+}
+
+void Registry::append_samples(const std::string& name, const Entry& entry,
+                              bool include_wall_clock,
+                              std::vector<Sample>& out) const {
+  if (entry.det == Determinism::kWallClock && !include_wall_clock) return;
+  switch (entry.kind) {
+    case Kind::kCounter:
+    case Kind::kExternalCounter:
+      out.push_back({name, static_cast<const Counter*>(entry.ptr)->value()});
+      break;
+    case Kind::kGauge:
+      out.push_back({name, static_cast<const Gauge*>(entry.ptr)->value()});
+      break;
+    case Kind::kAtomicCounter:
+      out.push_back(
+          {name, static_cast<const AtomicCounter*>(entry.ptr)->value()});
+      break;
+    case Kind::kHistogram: {
+      const auto* h = static_cast<const Histogram*>(entry.ptr);
+      out.push_back({name + ".count", h->count()});
+      out.push_back({name + ".max", h->max()});
+      out.push_back({name + ".sum", h->sum()});
+      break;
+    }
+    case Kind::kAtomicHistogram: {
+      const auto* h = static_cast<const AtomicHistogram*>(entry.ptr);
+      out.push_back({name + ".count", h->count()});
+      out.push_back({name + ".max", h->max()});
+      out.push_back({name + ".sum", h->sum()});
+      break;
+    }
+    case Kind::kComputed:
+      out.push_back({name, entry.computed()});
+      break;
+  }
+}
+
+std::vector<Sample> Registry::collect(bool include_wall_clock) const {
+  std::lock_guard lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(entries_.size());
+  // entries_ iterates in name order and histogram sub-samples append in
+  // suffix order (.count < .max < .sum), and every flattened name keeps
+  // its entry's name as a strict prefix — so the output is sorted
+  // without a second pass.
+  for (const auto& [name, entry] : entries_) {
+    append_samples(name, entry, include_wall_clock, out);
+  }
+  return out;
+}
+
+void Registry::collect_values(bool include_wall_clock,
+                              std::vector<std::uint64_t>& out) const {
+  std::lock_guard lock(mu_);
+  // Mirrors collect()/append_samples exactly (same entry order, same
+  // histogram flattening order), minus the name strings — index i of
+  // this output corresponds to index i of collect()'s.
+  for (const auto& [name, entry] : entries_) {
+    if (entry.det == Determinism::kWallClock && !include_wall_clock) continue;
+    switch (entry.kind) {
+      case Kind::kCounter:
+      case Kind::kExternalCounter:
+        out.push_back(static_cast<const Counter*>(entry.ptr)->value());
+        break;
+      case Kind::kGauge:
+        out.push_back(static_cast<const Gauge*>(entry.ptr)->value());
+        break;
+      case Kind::kAtomicCounter:
+        out.push_back(static_cast<const AtomicCounter*>(entry.ptr)->value());
+        break;
+      case Kind::kHistogram: {
+        const auto* h = static_cast<const Histogram*>(entry.ptr);
+        out.push_back(h->count());
+        out.push_back(h->max());
+        out.push_back(h->sum());
+        break;
+      }
+      case Kind::kAtomicHistogram: {
+        const auto* h = static_cast<const AtomicHistogram*>(entry.ptr);
+        out.push_back(h->count());
+        out.push_back(h->max());
+        out.push_back(h->sum());
+        break;
+      }
+      case Kind::kComputed:
+        out.push_back(entry.computed());
+        break;
+    }
+  }
+}
+
+std::optional<std::uint64_t> Registry::value(std::string_view name) const {
+  for (const Sample& s : collect(true)) {
+    if (s.name == name) return s.value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace zendoo::obs

@@ -5,6 +5,7 @@
 namespace zendoo::parallel {
 
 bool ProofCheck::operator()() const {
+  obs::AtomicScopedTimer timer(latency_hist);
   switch (kind) {
     case Kind::kSnark:
       return snark::PredicateSnark::verify(vk, statement, proof);
@@ -36,6 +37,20 @@ Digest ProofCheck::cache_key() const {
   return h.finalize();
 }
 
+ValidationContext::ValidationContext(ValidationConfig config)
+    : config_(config) {
+  executed_ = registry_.atomic_counter("par.checks_executed");
+  hits_ = registry_.atomic_counter("par.cache_hits");
+  batches_ = registry_.atomic_counter("par.batches");
+  batch_size_ = registry_.atomic_histogram("par.batch_size");
+  snark_ns_ = registry_.atomic_histogram(
+      obs::Registry::labeled("par.verify_ns", "kind", "snark"),
+      obs::Determinism::kWallClock);
+  sig_ns_ = registry_.atomic_histogram(
+      obs::Registry::labeled("par.verify_ns", "kind", "signature"),
+      obs::Determinism::kWallClock);
+}
+
 CheckQueue<ProofCheck>& ValidationContext::queue() {
   std::scoped_lock lock(queue_mu_);
   if (queue_ == nullptr) {
@@ -48,7 +63,7 @@ bool ValidationContext::cache_contains(const Digest& key) {
   if (config_.cache_capacity == 0) return false;
   std::scoped_lock lock(cache_mu_);
   if (!cache_.contains(key)) return false;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->add(1);
   return true;
 }
 
@@ -64,9 +79,9 @@ void ValidationContext::cache_insert(const Digest& key) {
 
 ValidationStats ValidationContext::stats() const {
   ValidationStats s;
-  s.checks_executed = executed_.load(std::memory_order_relaxed);
-  s.cache_hits = hits_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
+  s.checks_executed = executed_->value();
+  s.cache_hits = hits_->value();
+  s.batches = batches_->value();
   return s;
 }
 
@@ -117,11 +132,13 @@ std::string BatchProofVerifier::run() {
   }
   if (to_run.empty()) return "";
   ctx_.count_executed(to_run.size());
+  ctx_.record_batch_size(to_run.size());
 
   if (ctx_.config().worker_threads == 0) {
     // Sequential batch on the calling thread — same semantics, no pool.
     for (std::size_t j = 0; j < to_run.size(); ++j) {
       Entry& e = pending_[to_run[j]];
+      e.check.latency_hist = ctx_.latency_hist(e.check.kind);
       if (!e.check()) return e.error;
       ctx_.cache_insert(keys[j]);
     }
@@ -130,7 +147,11 @@ std::string BatchProofVerifier::run() {
 
   std::vector<ProofCheck> batch;
   batch.reserve(to_run.size());
-  for (std::size_t idx : to_run) batch.push_back(std::move(pending_[idx].check));
+  for (std::size_t idx : to_run) {
+    ProofCheck check = std::move(pending_[idx].check);
+    check.latency_hist = ctx_.latency_hist(check.kind);
+    batch.push_back(std::move(check));
+  }
   CheckResult result = ctx_.queue().run_batch(std::move(batch));
   if (!result.ok) return pending_[to_run[result.first_failure]].error;
   for (const Digest& key : keys) ctx_.cache_insert(key);

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "crypto/ecc.hpp"
+#include "obs/trace.hpp"
 #include "parallel/check_queue.hpp"
 #include "parallel/validation_config.hpp"
 #include "snark/snark.hpp"
@@ -49,7 +50,14 @@ struct ProofCheck {
   Digest msg;
   crypto::Signature sig;
 
-  /// Executes the verification. True = check passed.
+  /// Per-check-kind verify-latency histogram (wall clock), set by
+  /// BatchProofVerifier::run before execution; null = untimed. Any
+  /// thread may record (AtomicHistogram), which is what makes this
+  /// work across the CheckQueue worker pool. Not part of cache_key.
+  obs::AtomicHistogram* latency_hist = nullptr;
+
+  /// Executes the verification (timed when latency_hist is set).
+  /// True = check passed.
   [[nodiscard]] bool operator()() const;
 
   /// Content digest identifying this check in the verified-check cache.
@@ -70,7 +78,7 @@ struct ValidationStats {
 /// copies of a ChainState; all entry points are thread-safe.
 class ValidationContext {
  public:
-  explicit ValidationContext(ValidationConfig config) : config_(config) {}
+  explicit ValidationContext(ValidationConfig config);
 
   [[nodiscard]] const ValidationConfig& config() const { return config_; }
 
@@ -83,10 +91,20 @@ class ValidationContext {
   void cache_insert(const Digest& key);
 
   [[nodiscard]] ValidationStats stats() const;
-  void count_executed(std::uint64_t n) {
-    executed_.fetch_add(n, std::memory_order_relaxed);
+  void count_executed(std::uint64_t n) { executed_->add(n); }
+  void count_batch() { batches_->add(1); }
+  /// Post-cache-filter batch size (checks actually executed).
+  void record_batch_size(std::uint64_t n) { batch_size_->record(n); }
+  /// Verify-latency histogram for `kind` (wall clock; any thread).
+  [[nodiscard]] obs::AtomicHistogram* latency_hist(ProofCheck::Kind kind) {
+    return kind == ProofCheck::Kind::kSnark ? snark_ns_ : sig_ns_;
   }
-  void count_batch() { batches_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// "par." metrics: counters behind ValidationStats, batch sizes, and
+  /// the per-kind verify-latency family "par.verify_ns{kind=...}"
+  /// (wall clock — excluded from deterministic exports).
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
 
  private:
   ValidationConfig config_;
@@ -97,9 +115,16 @@ class ValidationContext {
   mutable std::mutex cache_mu_;
   std::unordered_set<Digest, crypto::DigestHash> cache_;
 
-  std::atomic<std::uint64_t> executed_{0};
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> batches_{0};
+  /// Owns the counters behind ValidationStats; the pointers below are
+  /// hot-path handles into registry-owned atomic storage (the worker
+  /// pool increments them concurrently).
+  obs::Registry registry_;
+  obs::AtomicCounter* executed_;
+  obs::AtomicCounter* hits_;
+  obs::AtomicCounter* batches_;
+  obs::AtomicHistogram* batch_size_;
+  obs::AtomicHistogram* snark_ns_;
+  obs::AtomicHistogram* sig_ns_;
 };
 
 /// Collects the stateless checks of one block application and verifies

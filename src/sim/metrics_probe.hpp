@@ -1,0 +1,116 @@
+// Deterministic cluster-wide metrics sampling for SimNet scenarios.
+//
+// A MetricsProbe drives a SimNet exactly like the caller would
+// (run_until / run_until_idle have identical event-processing semantics)
+// but pauses at a fixed sim-time cadence to snapshot every registry in
+// the cluster into a time-series. The probe is a pure observer: it
+// schedules no events and sets no timers, so message sequence numbers —
+// and therefore the golden trace digests — are byte-identical with or
+// without a probe attached.
+//
+// Sampling semantics: a sample at boundary b reflects the state after
+// every event scheduled at or before b has been processed (the same
+// guarantee SimNet::run_until(b) gives). Boundaries the net has already
+// passed when the probe attaches are skipped deterministically.
+//
+// Each sample aggregates, across the SimNet registry plus every node's
+// net/mainchain/validation registries:
+//   - the SUM over nodes, under the plain metric name, and
+//   - the per-node MAX, under "<name>.node_max" (hotspot detection).
+// Wall-clock metrics (Determinism::kWallClock) are excluded, which is
+// what makes the exported JSON byte-identical across reruns of the same
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/sim.hpp"
+
+namespace zendoo::sim {
+
+class MetricsProbe {
+ public:
+  /// One cluster-wide snapshot at sim time `time`.
+  struct Sample {
+    net::SimTime time = 0;
+    std::map<std::string, std::uint64_t> values;
+  };
+
+  /// Samples `net` and `nodes` every `cadence` sim-time ticks. The probe
+  /// stores raw pointers: net and nodes must outlive it.
+  MetricsProbe(net::SimNet& net, std::vector<net::NetNode*> nodes,
+               net::SimTime cadence);
+
+  /// Like SimNet::run_until, but samples at every cadence boundary in
+  /// (now, t]. Event processing is identical to calling the net directly.
+  void run_until(net::SimTime t);
+
+  /// Like SimNet::run_until_idle (no event cap): drains the queue,
+  /// sampling at each cadence boundary the queue advances past. With
+  /// `final_sample` (the default) one trailing sample captures the
+  /// drained state; pass false when draining repeatedly inside a loop
+  /// (per mined block, say) so sampling stays on the cadence instead of
+  /// once per drain. Returns events processed.
+  std::size_t run_until_idle(bool final_sample = true);
+
+  /// Takes a snapshot at the current sim time, outside the cadence.
+  void sample_now();
+
+  [[nodiscard]] const std::vector<Sample>& samples() const {
+    return samples_;
+  }
+
+  /// (time, value) pairs for one metric; absent-in-sample reads as 0.
+  [[nodiscard]] std::vector<std::pair<net::SimTime, std::uint64_t>> series(
+      const std::string& name) const;
+
+  /// Largest sampled value of `name` across the whole run (0 if never
+  /// sampled).
+  [[nodiscard]] std::uint64_t max_over_time(const std::string& name) const;
+
+  /// Value of `name` in the most recent sample (0 if none).
+  [[nodiscard]] std::uint64_t last(const std::string& name) const;
+
+  /// Serializes the time-series ("zendoo-probe-v1" schema). Sorted keys
+  /// and integer values: byte-identical across reruns of the same seed.
+  [[nodiscard]] std::string to_json(const std::string& name) const;
+
+  /// Writes to_json(name) to PROBE_<name>.json in $ZENDOO_BENCH_DIR
+  /// (default "."). Returns the path written, or "" on I/O failure.
+  std::string write_json(const std::string& name) const;
+
+ private:
+  /// Cached mapping from one registry's collect_values() order to the
+  /// probe's aggregate slots, so a steady-state sample does no string
+  /// work: per value index, the slot accumulating the cross-node sum
+  /// and the slot tracking the cross-node max. Rebuilt (via one full
+  /// collect()) whenever the registry's value count changes.
+  struct RegistryLayout {
+    std::vector<std::size_t> sum_slot;
+    std::vector<std::size_t> max_slot;
+  };
+
+  /// Folds one registry's deterministic values into `accum` (indexed by
+  /// aggregate slot; grows when a registry reveals new metrics).
+  void fold_registry(const obs::Registry& reg,
+                     std::vector<std::uint64_t>& accum);
+  std::size_t slot_for(const std::string& name);
+
+  net::SimNet& net_;
+  std::vector<net::NetNode*> nodes_;
+  net::SimTime cadence_;
+  net::SimTime next_sample_;
+  std::vector<Sample> samples_;
+
+  std::vector<std::string> slot_names_;           // slot -> metric name
+  std::map<std::string, std::size_t> slot_index_;  // metric name -> slot
+  std::map<const obs::Registry*, RegistryLayout> layouts_;
+  std::vector<std::uint64_t> scratch_;
+};
+
+}  // namespace zendoo::sim

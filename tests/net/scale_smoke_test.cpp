@@ -8,8 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 #include "net/scenario.hpp"
+#include "obs/json.hpp"
+#include "sim/metrics_probe.hpp"
 
 namespace zendoo::net {
 namespace {
@@ -28,9 +33,13 @@ TEST(ScaleSmoke, GossipAt128NodesStaysInsideEventBudget) {
   c.net.set_trace_mode(TraceMode::kDigest);
   c.net.set_idle_event_cap(kEventBudget);
 
+  // Drive the run through a cluster-wide metrics probe: the smoke test
+  // doubles as the at-scale check that sampling 128 registries neither
+  // perturbs the run nor produces an unusable export.
+  sim::MetricsProbe probe(c.net, c.ptrs(), /*cadence=*/64);
   for (std::uint64_t b = 0; b < kBlocks; ++b) {
     c[b % kNodes].mine();
-    c.net.run_until_idle();
+    probe.run_until_idle(/*final_sample=*/b + 1 == kBlocks);
   }
 
   // Everyone converged on one chain of the full height.
@@ -51,6 +60,31 @@ TEST(ScaleSmoke, GossipAt128NodesStaysInsideEventBudget) {
     encodes += c[i].stats().encode_cache_misses;
   }
   EXPECT_LE(encodes, kBlocks * kNodes);
+
+  // The sampled time-series exports, parses, and carries the mandatory
+  // metric families every layer is contracted to publish.
+  ASSERT_EQ(setenv("ZENDOO_BENCH_DIR", testing::TempDir().c_str(), 1), 0);
+  const std::string path = probe.write_json("scale_smoke_128");
+  unsetenv("ZENDOO_BENCH_DIR");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(buf.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "zendoo-probe-v1");
+  EXPECT_EQ(doc.at("nodes").as_u64(), kNodes);
+  const obs::json::Value& samples = doc.at("samples");
+  ASSERT_GT(samples.size(), 0u);
+  const obs::json::Value& values = samples.at(samples.size() - 1).at("values");
+  for (const char* family :
+       {"sim.events_processed", "net.msgs_sent", "net.blocks_received",
+        "mc.blocks_connected", "mc.orphan_pool", "par.checks_executed"}) {
+    EXPECT_NE(values.find(family), nullptr) << family;
+  }
+  // Cluster totals agree between the probe's last sample and the live
+  // registries (128 nodes of them).
+  EXPECT_EQ(probe.last("sim.events_processed"),
+            c.net.stats().events_processed.value());
 
   // Generous wall-clock ceiling — this is a smoke test, not a
   // benchmark; it catches accidental O(n^2)-per-event blowups, which

@@ -206,32 +206,35 @@ TEST(SimNet, LinkStatsCountPerDirectedLink) {
 TEST(SimNet, DigestModeMatchesFullTraceDigest) {
   // One seeded lossy run recorded twice: once with the full vector, once
   // with the O(1) rolling digest. Replay identity demands they agree.
-  auto run = [](TraceMode mode) {
-    SimNet net(99);
-    net.set_trace_mode(mode);
-    std::vector<Sink> sinks(4);
+  // SimNet is pinned (its registry exposes this-capturing gauges), so
+  // the fixture hands back a unique_ptr instead of moving the net.
+  auto run = [](TraceMode mode, std::vector<Sink>& sinks) {
+    auto net = std::make_unique<SimNet>(99);
+    net->set_trace_mode(mode);
     std::vector<NodeId> ids;
-    for (auto& s : sinks) ids.push_back(net.add_node(s.handler()));
-    net.set_default_link({1, 9, 2, 10});
-    net.partition({{0, 1}, {2, 3}});
+    for (auto& s : sinks) ids.push_back(net->add_node(s.handler()));
+    net->set_default_link({1, 9, 2, 10});
+    net->partition({{0, 1}, {2, 3}});
     for (std::uint8_t round = 0; round < 8; ++round) {
-      net.broadcast(ids[round % 4], {round});
-      net.run_until(net.now() + 3);
+      net->broadcast(ids[round % 4], {round});
+      net->run_until(net->now() + 3);
     }
-    net.heal();
-    net.broadcast(ids[0], {42});
-    net.run_until_idle();
+    net->heal();
+    net->broadcast(ids[0], {42});
+    net->run_until_idle();
     return net;
   };
-  SimNet full = run(TraceMode::kFull);
-  SimNet digest = run(TraceMode::kDigest);
-  EXPECT_FALSE(full.trace().empty());
-  EXPECT_TRUE(digest.trace().empty());  // kDigest stores no entries
-  EXPECT_EQ(full.trace_digest(), SimNet::digest_of(full.trace()));
-  EXPECT_EQ(digest.trace_digest(), full.trace_digest());
+  std::vector<Sink> full_sinks(4);
+  std::vector<Sink> digest_sinks(4);
+  auto full = run(TraceMode::kFull, full_sinks);
+  auto digest = run(TraceMode::kDigest, digest_sinks);
+  EXPECT_FALSE(full->trace().empty());
+  EXPECT_TRUE(digest->trace().empty());  // kDigest stores no entries
+  EXPECT_EQ(full->trace_digest(), SimNet::digest_of(full->trace()));
+  EXPECT_EQ(digest->trace_digest(), full->trace_digest());
   // Same event stream either way.
-  EXPECT_EQ(digest.stats().delivered, full.stats().delivered);
-  EXPECT_EQ(digest.stats().events_processed, full.stats().events_processed);
+  EXPECT_EQ(digest->stats().delivered, full->stats().delivered);
+  EXPECT_EQ(digest->stats().events_processed, full->stats().events_processed);
 }
 
 TEST(SimNet, OffModeRecordsNothingButCountsStats) {
